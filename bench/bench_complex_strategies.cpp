@@ -1,0 +1,111 @@
+// V1/V3 -- the Sec. V-C MultComplex functor and the Sec. V-E ablation:
+// FCMLA backend vs the real-arithmetic alternative vs plain generic C++,
+// at every framework vector length.  Reports wall time and the dynamic
+// instruction count per functor application -- the paper's point is that
+// the real-arithmetic path costs more instructions, while which one is
+// *faster* is implementation-defined (here: simulator-defined).
+#include <benchmark/benchmark.h>
+
+#include "simd/simd.h"
+#include "sve/sve.h"
+
+namespace {
+
+using namespace svelat;
+
+template <typename S>
+S make_simd(int tag) {
+  S s = S::zero();
+  for (unsigned i = 0; i < S::Nsimd(); ++i)
+    s.set_lane(i, {0.25 * ((tag * 37 + static_cast<int>(i) * 11) % 19) - 2.0,
+                   0.125 * ((tag * 53 + static_cast<int>(i) * 29) % 17) - 1.0});
+  return s;
+}
+
+template <typename S>
+void bench_mult_complex(benchmark::State& state) {
+  sve::VLGuard vl(8 * S::vlb);
+  const S a = make_simd<S>(1);
+  const S b = make_simd<S>(2);
+  sve::CounterScope scope;
+  std::size_t iters = 0;
+  for (auto _ : state) {
+    S c = a * b;
+    benchmark::DoNotOptimize(c);
+    ++iters;
+  }
+  const auto d = scope.delta();
+  state.counters["insns/op"] =
+      benchmark::Counter(static_cast<double>(d.total()) / static_cast<double>(iters));
+  state.counters["permutes/op"] = benchmark::Counter(
+      static_cast<double>(d[sve::InsnClass::kPermute]) / static_cast<double>(iters));
+  state.SetItemsProcessed(static_cast<std::int64_t>(iters * S::Nsimd()));
+}
+
+template <typename S>
+void bench_mac_complex(benchmark::State& state) {
+  sve::VLGuard vl(8 * S::vlb);
+  S acc = make_simd<S>(3);
+  const S a = make_simd<S>(4);
+  const S b = make_simd<S>(5);
+  sve::CounterScope scope;
+  std::size_t iters = 0;
+  for (auto _ : state) {
+    acc.mac(a, b);
+    benchmark::DoNotOptimize(acc);
+    ++iters;
+  }
+  const auto d = scope.delta();
+  state.counters["insns/op"] =
+      benchmark::Counter(static_cast<double>(d.total()) / static_cast<double>(iters));
+  state.SetItemsProcessed(static_cast<std::int64_t>(iters * S::Nsimd()));
+}
+
+template <typename S>
+void bench_times_i(benchmark::State& state) {
+  sve::VLGuard vl(8 * S::vlb);
+  const S a = make_simd<S>(6);
+  sve::CounterScope scope;
+  std::size_t iters = 0;
+  for (auto _ : state) {
+    S c = timesI(a);
+    benchmark::DoNotOptimize(c);
+    ++iters;
+  }
+  const auto d = scope.delta();
+  state.counters["insns/op"] =
+      benchmark::Counter(static_cast<double>(d.total()) / static_cast<double>(iters));
+  state.SetItemsProcessed(static_cast<std::int64_t>(iters * S::Nsimd()));
+}
+
+using D128F = simd::SimdComplex<double, simd::kVLB128, simd::SveFcmla>;
+using D256F = simd::SimdComplex<double, simd::kVLB256, simd::SveFcmla>;
+using D512F = simd::SimdComplex<double, simd::kVLB512, simd::SveFcmla>;
+using D128R = simd::SimdComplex<double, simd::kVLB128, simd::SveReal>;
+using D256R = simd::SimdComplex<double, simd::kVLB256, simd::SveReal>;
+using D512R = simd::SimdComplex<double, simd::kVLB512, simd::SveReal>;
+using D512G = simd::SimdComplex<double, simd::kVLB512, simd::Generic>;
+using F512F = simd::SimdComplex<float, simd::kVLB512, simd::SveFcmla>;
+using F512R = simd::SimdComplex<float, simd::kVLB512, simd::SveReal>;
+
+}  // namespace
+
+BENCHMARK(bench_mult_complex<D128F>)->Name("MultComplex/fcmla/128");
+BENCHMARK(bench_mult_complex<D256F>)->Name("MultComplex/fcmla/256");
+BENCHMARK(bench_mult_complex<D512F>)->Name("MultComplex/fcmla/512");
+BENCHMARK(bench_mult_complex<D128R>)->Name("MultComplex/real/128");
+BENCHMARK(bench_mult_complex<D256R>)->Name("MultComplex/real/256");
+BENCHMARK(bench_mult_complex<D512R>)->Name("MultComplex/real/512");
+BENCHMARK(bench_mult_complex<D512G>)->Name("MultComplex/generic/512");
+BENCHMARK(bench_mult_complex<F512F>)->Name("MultComplex/fcmla/512f");
+BENCHMARK(bench_mult_complex<F512R>)->Name("MultComplex/real/512f");
+
+BENCHMARK(bench_mac_complex<D512F>)->Name("MacComplex/fcmla/512");
+BENCHMARK(bench_mac_complex<D512R>)->Name("MacComplex/real/512");
+BENCHMARK(bench_mac_complex<D512G>)->Name("MacComplex/generic/512");
+
+BENCHMARK(bench_times_i<D512F>)->Name("TimesI/fcmla/512");
+BENCHMARK(bench_times_i<D512R>)->Name("TimesI/real/512");
+BENCHMARK(bench_times_i<D512G>)->Name("TimesI/generic/512");
+
+BENCHMARK_MAIN();

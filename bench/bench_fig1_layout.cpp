@@ -1,0 +1,72 @@
+// F1 -- reproduces Fig. 1: decomposing a sub-lattice over virtual nodes.
+//
+// For each vector length the paper enables, prints how the lattice is
+// over-decomposed (simd_layout / rdimensions), shows which virtual node
+// owns which block, and quantifies the central property of the layout:
+// nearest-neighbour access needs *no* data movement between vector
+// elements except at block boundaries, where a single stored lane
+// permutation suffices.
+#include <cstdio>
+
+#include "core/svelat.h"
+
+namespace {
+
+using namespace svelat;
+
+template <typename S>
+void analyze(const char* label) {
+  sve::VLGuard vl(8 * S::vlb);
+  const lattice::Coordinate dims{8, 8, 8, 16};
+  lattice::GridCartesian grid(dims, lattice::GridCartesian::default_simd_layout(S::Nsimd()));
+
+  std::printf("--- %s: Nsimd = %u virtual nodes ---\n", label, S::Nsimd());
+  std::printf("  lattice      %s\n", lattice::to_string(grid.fdimensions()).c_str());
+  std::printf("  simd layout  %s\n", lattice::to_string(grid.simd_layout()).c_str());
+  std::printf("  block/vnode  %s  (x %lld outer sites)\n",
+              lattice::to_string(grid.rdimensions()).c_str(),
+              static_cast<long long>(grid.osites()));
+
+  // Ownership snapshot: which lane owns global site (x, 0, z, t)?
+  if (S::Nsimd() > 1) {
+    std::printf("  lane of site (0,0,z,t):\n      t\\z ");
+    for (int z = 0; z < dims[2]; z += 2) std::printf("%2d ", z);
+    std::printf("\n");
+    for (int t = 0; t < dims[3]; t += 4) {
+      std::printf("     %3d  ", t);
+      for (int z = 0; z < dims[2]; z += 2)
+        std::printf("%2u ", grid.inner_index({0, 0, z, t}));
+      std::printf("\n");
+    }
+  }
+
+  // Stencil statistics: of all (site, direction) hops, how many stay in
+  // the same lanes and how many need the boundary permute.
+  const lattice::Stencil st(&grid);
+  long long plain = 0, permuted = 0;
+  for (std::int64_t o = 0; o < grid.osites(); ++o)
+    for (int dir = 0; dir < lattice::Stencil::num_dirs; ++dir)
+      (st.entry(o, dir).permute == 0 ? plain : permuted)++;
+  const double frac = 100.0 * static_cast<double>(permuted) /
+                      static_cast<double>(plain + permuted);
+  std::printf("  hops: %lld same-lane, %lld boundary-permute (%.1f%%)\n", plain, permuted,
+              frac);
+  for (int mu = 0; mu < lattice::Nd; ++mu)
+    if (grid.permute_distance(mu) != 0)
+      std::printf("    dim %d crossing -> lane XOR %u\n", mu, grid.permute_distance(mu));
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== F1: Fig. 1 virtual-node decomposition, 8^3 x 16 sub-lattice ===\n\n");
+  analyze<simd::SimdComplex<double, simd::kVLB128, simd::SveFcmla>>("128-bit SVE (vComplexD)");
+  analyze<simd::SimdComplex<double, simd::kVLB256, simd::SveFcmla>>("256-bit SVE (vComplexD)");
+  analyze<simd::SimdComplex<double, simd::kVLB512, simd::SveFcmla>>("512-bit SVE (vComplexD)");
+  analyze<simd::SimdComplex<float, simd::kVLB512, simd::SveFcmla>>("512-bit SVE (vComplexF)");
+  std::printf("Neighbouring sites always live in different vectors (or reach across a\n"
+              "block boundary via one stored permutation) -- the Fig. 1 property that\n"
+              "makes the hopping term permute-free in the bulk.\n");
+  return 0;
+}

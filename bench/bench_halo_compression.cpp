@@ -1,0 +1,92 @@
+// E3 -- fp16 halo-exchange compression (paper Sec. V-B): pack -> compress
+// -> exchange -> decompress throughput per compression mode, plus the
+// precision-conversion kernels in isolation.
+#include <benchmark/benchmark.h>
+
+#include "core/svelat.h"
+
+namespace {
+
+using namespace svelat;
+using S = simd::SimdComplex<double, simd::kVLB512, simd::SveFcmla>;
+
+struct HaloSetup {
+  HaloSetup()
+      : grid({8, 8, 8, 8}, lattice::GridCartesian::default_simd_layout(S::Nsimd())),
+        psi(&grid) {
+    sve::set_vector_length(512);
+    gaussian_fill(SiteRNG(33), psi);
+  }
+  lattice::GridCartesian grid;
+  qcd::LatticeFermion<S> psi;
+};
+
+HaloSetup& setup() {
+  static HaloSetup s;
+  return s;
+}
+
+void bench_exchange(benchmark::State& state, comms::Compression mode) {
+  sve::set_vector_length(512);
+  auto& s = setup();
+  comms::SimCommunicator comm(2);
+  std::size_t wire = 0, payload = 0;
+  for (auto _ : state) {
+    const auto received = comms::exchange_face(comm, s.psi, 3, 0, mode, 0, 1, &wire);
+    benchmark::DoNotOptimize(received.data());
+    payload += received.size() * sizeof(double);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(payload));
+  state.counters["wire_bytes"] = benchmark::Counter(static_cast<double>(wire));
+  state.counters["compression"] = benchmark::Counter(
+      static_cast<double>(setup().grid.gsites() / 8 * qcd::Ns * qcd::Nc * 2 *
+                          sizeof(double)) /
+      static_cast<double>(wire));
+}
+
+void bench_narrow_f64_f16(benchmark::State& state) {
+  sve::set_vector_length(static_cast<unsigned>(state.range(0)));
+  const std::size_t n = 12288;
+  AlignedVector<double> in(n);
+  AlignedVector<half> out(n);
+  for (std::size_t i = 0; i < n; ++i) in[i] = 0.001 * static_cast<double>(i) - 5.0;
+  sve::CounterScope scope;
+  std::size_t iters = 0;
+  for (auto _ : state) {
+    comms::narrow_f64_f16(in.data(), out.data(), n);
+    benchmark::DoNotOptimize(out.data());
+    ++iters;
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(iters * n * sizeof(double)));
+  state.counters["insns/elem"] = benchmark::Counter(
+      static_cast<double>(scope.delta().total()) / static_cast<double>(iters * n));
+}
+
+void bench_widen_f16_f64(benchmark::State& state) {
+  sve::set_vector_length(static_cast<unsigned>(state.range(0)));
+  const std::size_t n = 12288;
+  AlignedVector<half> in(n);
+  AlignedVector<double> out(n);
+  for (std::size_t i = 0; i < n; ++i) in[i] = half(0.01f * static_cast<float>(i % 100));
+  std::size_t iters = 0;
+  for (auto _ : state) {
+    comms::widen_f16_f64(in.data(), out.data(), n);
+    benchmark::DoNotOptimize(out.data());
+    ++iters;
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(iters * n * sizeof(double)));
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(bench_exchange, none, comms::Compression::kNone)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(bench_exchange, f32, comms::Compression::kF32)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(bench_exchange, f16, comms::Compression::kF16)
+    ->Unit(benchmark::kMicrosecond);
+
+BENCHMARK(bench_narrow_f64_f16)->Arg(128)->Arg(512)->Arg(2048);
+BENCHMARK(bench_widen_f16_f64)->Arg(128)->Arg(512)->Arg(2048);
+
+BENCHMARK_MAIN();

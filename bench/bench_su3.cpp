@@ -1,0 +1,57 @@
+// E4 (supporting) -- SU(3) matrix-matrix multiply throughput: the "key
+// computational pattern" of LQCD beyond the Dslash (Grid ships the same
+// measurement as Benchmark_su3).  Each site multiply is 9 complex
+// mac-chains of depth 3 = 198 flop per site per lane.
+#include <benchmark/benchmark.h>
+
+#include "core/svelat.h"
+#include "lattice/local_ops.h"
+
+namespace {
+
+using namespace svelat;
+
+constexpr double kSu3FlopsPerSite = 198.0;  // 9 entries x (3 cmul + 2 cadd) x 6/2
+
+template <typename S>
+void bench_su3_mm(benchmark::State& state) {
+  sve::VLGuard vl(8 * S::vlb);
+  lattice::GridCartesian grid({4, 4, 4, 8},
+                              lattice::GridCartesian::default_simd_layout(S::Nsimd()));
+  using Field = lattice::Lattice<qcd::ColourMatrix<S>>;
+  Field a(&grid), b(&grid), c(&grid);
+  uniform_fill(SiteRNG(1), a, -1.0, 1.0);
+  uniform_fill(SiteRNG(2), b, -1.0, 1.0);
+
+  sve::CounterScope scope;
+  std::size_t iters = 0;
+  for (auto _ : state) {
+    lattice::local_mult(c, a, b);
+    benchmark::DoNotOptimize(c[0]);
+    ++iters;
+  }
+  const double sites = static_cast<double>(grid.gsites()) * static_cast<double>(iters);
+  state.counters["Mflop/s"] =
+      benchmark::Counter(kSu3FlopsPerSite * sites / 1e6, benchmark::Counter::kIsRate);
+  state.counters["insns/site"] =
+      benchmark::Counter(static_cast<double>(scope.delta().total()) / sites);
+  state.SetItemsProcessed(static_cast<std::int64_t>(sites));
+}
+
+using D128F = simd::SimdComplex<double, simd::kVLB128, simd::SveFcmla>;
+using D256F = simd::SimdComplex<double, simd::kVLB256, simd::SveFcmla>;
+using D512F = simd::SimdComplex<double, simd::kVLB512, simd::SveFcmla>;
+using D512R = simd::SimdComplex<double, simd::kVLB512, simd::SveReal>;
+using D512G = simd::SimdComplex<double, simd::kVLB512, simd::Generic>;
+using F512F = simd::SimdComplex<float, simd::kVLB512, simd::SveFcmla>;
+
+}  // namespace
+
+BENCHMARK(bench_su3_mm<D128F>)->Name("Su3MM/fcmla/128")->Unit(benchmark::kMillisecond);
+BENCHMARK(bench_su3_mm<D256F>)->Name("Su3MM/fcmla/256")->Unit(benchmark::kMillisecond);
+BENCHMARK(bench_su3_mm<D512F>)->Name("Su3MM/fcmla/512")->Unit(benchmark::kMillisecond);
+BENCHMARK(bench_su3_mm<D512R>)->Name("Su3MM/real/512")->Unit(benchmark::kMillisecond);
+BENCHMARK(bench_su3_mm<D512G>)->Name("Su3MM/generic/512")->Unit(benchmark::kMillisecond);
+BENCHMARK(bench_su3_mm<F512F>)->Name("Su3MM/fcmla/512f")->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,18 @@
+// T1 -- regenerates paper Table I ("Architectures supported by Grid") and
+// appends the ports this reproduction adds, exactly as the paper's
+// contribution extends the table with SVE.
+#include <cstdio>
+
+#include "core/ports.h"
+
+int main() {
+  std::printf("=== T1: paper Table I + SVE ports of this reproduction ===\n\n");
+  std::printf("%s\n", svelat::core::ports_table().c_str());
+  std::printf("Notes:\n");
+  std::printf("  * upstream rows are reproduced verbatim from the paper;\n");
+  std::printf("    this library does not build x86/QPX/NEON intrinsics.\n");
+  std::printf("  * the SVE rows are implemented against the software SVE\n");
+  std::printf("    simulator (see DESIGN.md substitution table) at the\n");
+  std::printf("    128/256/512-bit lengths the paper enables in Grid.\n");
+  return 0;
+}

@@ -1,0 +1,117 @@
+// Regenerates the assembly-style listings of paper Sec. IV and Sec. V-C
+// from the executed intrinsic stream (the tracer renders each simulated
+// instruction; register allocation is not modeled).
+//
+// Usage: ./examples/code_listings [vl_bits=512]
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "core/svelat.h"
+
+namespace {
+
+using namespace svelat;
+
+void show(const char* title, const char* paper_ref, sve::Tracer& tracer) {
+  std::printf("--- %s (%s) ---\n%s\n", title, paper_ref, tracer.folded_listing().c_str());
+  tracer.clear();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const unsigned vl = argc > 1 ? static_cast<unsigned>(std::atoi(argv[1])) : 512;
+  sve::set_vector_length(vl);
+  std::printf("%s\n\n", core::runtime_summary().c_str());
+
+  const std::size_t n = 2 * sve::lanes<double>();  // two vectors worth of doubles
+  std::vector<double> x(2 * n, 1.0), y(2 * n, 2.0), z(2 * n);
+  std::vector<kernels::cplx> cx(n, {1.0, 0.5}), cy(n, {2.0, -0.25}), cz(n);
+
+  sve::Tracer tracer;
+  {
+    sve::TraceScope scope(tracer);
+    kernels::mult_real_sve(n, x.data(), y.data(), z.data());
+  }
+  show("mult_real: z[i] = x[i]*y[i], doubles, VLA loop", "Sec. IV-A", tracer);
+
+  {
+    sve::TraceScope scope(tracer);
+    kernels::mult_cplx_autovec(n, cx.data(), cy.data(), cz.data());
+  }
+  show("mult_cplx: armclang auto-vectorization strategy (ld2 + real arithmetic)",
+       "Sec. IV-B", tracer);
+
+  {
+    sve::TraceScope scope(tracer);
+    kernels::mult_cplx_acle(n, x.data(), y.data(), z.data());
+  }
+  show("mult_cplx: ACLE + FCMLA, VLA loop", "Sec. IV-C", tracer);
+
+  {
+    sve::TraceScope scope(tracer);
+    kernels::mult_cplx_acle_fixed(x.data(), y.data(), z.data());
+  }
+  show("mult_cplx: ACLE + FCMLA, fixed size (no loop)", "Sec. IV-D", tracer);
+
+  // The MultComplex functor of the SVE-enabled framework (Sec. V-C),
+  // in both complex-arithmetic strategies.
+  switch (vl) {
+    case 128: {
+      using F = simd::SimdComplex<double, simd::kVLB128, simd::SveFcmla>;
+      using R = simd::SimdComplex<double, simd::kVLB128, simd::SveReal>;
+      const F a(1.0, 0.5), b(2.0, -0.25);
+      const R c(1.0, 0.5), d(2.0, -0.25);
+      {
+        sve::TraceScope scope(tracer);
+        (void)(a * b);
+      }
+      show("MultComplex functor, FCMLA backend", "Sec. V-C", tracer);
+      {
+        sve::TraceScope scope(tracer);
+        (void)(c * d);
+      }
+      show("MultComplex functor, real-arithmetic backend", "Sec. V-E", tracer);
+      break;
+    }
+    case 256: {
+      using F = simd::SimdComplex<double, simd::kVLB256, simd::SveFcmla>;
+      using R = simd::SimdComplex<double, simd::kVLB256, simd::SveReal>;
+      const F a(1.0, 0.5), b(2.0, -0.25);
+      const R c(1.0, 0.5), d(2.0, -0.25);
+      {
+        sve::TraceScope scope(tracer);
+        (void)(a * b);
+      }
+      show("MultComplex functor, FCMLA backend", "Sec. V-C", tracer);
+      {
+        sve::TraceScope scope(tracer);
+        (void)(c * d);
+      }
+      show("MultComplex functor, real-arithmetic backend", "Sec. V-E", tracer);
+      break;
+    }
+    case 512: {
+      using F = simd::SimdComplex<double, simd::kVLB512, simd::SveFcmla>;
+      using R = simd::SimdComplex<double, simd::kVLB512, simd::SveReal>;
+      const F a(1.0, 0.5), b(2.0, -0.25);
+      const R c(1.0, 0.5), d(2.0, -0.25);
+      {
+        sve::TraceScope scope(tracer);
+        (void)(a * b);
+      }
+      show("MultComplex functor, FCMLA backend", "Sec. V-C", tracer);
+      {
+        sve::TraceScope scope(tracer);
+        (void)(c * d);
+      }
+      show("MultComplex functor, real-arithmetic backend", "Sec. V-E", tracer);
+      break;
+    }
+    default:
+      std::printf("(functor listings only available for 128/256/512 bit)\n");
+      break;
+  }
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Physics application: a pion two-point function.
+//
+// The full pipeline the paper's framework exists to accelerate: gauge
+// field -> Wilson operator -> 12 preconditioned solves (point-to-all
+// propagator) -> meson contraction.  On the free field (unit gauge) the
+// correlator must be exactly symmetric around T/2 and the effective mass
+// plateaus at the free Wilson pion mass.
+//
+// Usage: ./examples/pion_correlator [mass=0.3] [free|random]
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+#include "core/svelat.h"
+#include "qcd/propagator.h"
+
+int main(int argc, char** argv) {
+  using namespace svelat;
+  const double mass = argc > 1 ? std::atof(argv[1]) : 0.3;
+  const bool free_field = !(argc > 2 && std::strcmp(argv[2], "random") == 0);
+
+  sve::set_vector_length(512);
+  using S = simd::SimdComplex<double, simd::kVLB512, simd::SveFcmla>;
+
+  lattice::GridCartesian grid({4, 4, 4, 8},
+                              lattice::GridCartesian::default_simd_layout(S::Nsimd()));
+  qcd::GaugeField<S> gauge(&grid);
+  if (free_field) {
+    qcd::unit_gauge(gauge);
+    std::printf("free field (unit gauge), quark mass %.3f\n", mass);
+  } else {
+    qcd::random_gauge(SiteRNG(2018), gauge);
+    std::printf("random gauge (strong coupling), quark mass %.3f\n", mass);
+  }
+
+  const qcd::EvenOddWilson<S> eo(gauge, mass);
+  qcd::Propagator<S> prop(&grid);
+  StopWatch sw;
+  const double worst = qcd::compute_propagator(eo, {0, 0, 0, 0}, prop, 1e-9, 1000);
+  std::printf("12 propagator solves in %.1f s (worst true residual %.2e)\n\n",
+              sw.seconds(), worst);
+
+  const auto corr = qcd::pion_correlator(prop);
+  const auto meff = qcd::effective_mass(corr);
+  std::printf("  t    C(t)            m_eff(t)\n");
+  for (std::size_t t = 0; t < corr.size(); ++t) {
+    if (t < meff.size())
+      std::printf("  %2zu   %.6e   %+.4f\n", t, corr[t], meff[t]);
+    else
+      std::printf("  %2zu   %.6e\n", t, corr[t]);
+  }
+
+  // Periodicity check: C(t) == C(T-t) on a symmetric lattice.
+  const std::size_t T = corr.size();
+  double asym = 0;
+  for (std::size_t t = 1; t < T / 2; ++t)
+    asym = std::max(asym, std::abs(corr[t] - corr[T - t]) / corr[t]);
+  std::printf("\ntime-reflection asymmetry: %.2e %s\n", asym,
+              asym < 1e-6 ? "(symmetric, as required)" : "");
+  return 0;
+}

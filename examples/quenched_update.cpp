@@ -1,0 +1,49 @@
+// Quenched gauge generation: Metropolis sweeps of the Wilson plaquette
+// action, watching the plaquette thermalize -- then measuring Wilson loops
+// and the Polyakov loop on the resulting configuration.
+//
+// Usage: ./examples/quenched_update [beta=6.0] [sweeps=10]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/svelat.h"
+#include "qcd/metropolis.h"
+#include "qcd/observables.h"
+
+int main(int argc, char** argv) {
+  using namespace svelat;
+  const double beta = argc > 1 ? std::atof(argv[1]) : 6.0;
+  const int sweeps = argc > 2 ? std::atoi(argv[2]) : 10;
+
+  sve::set_vector_length(256);
+  using S = simd::SimdComplex<double, simd::kVLB256, simd::SveFcmla>;
+
+  lattice::GridCartesian grid({4, 4, 4, 4},
+                              lattice::GridCartesian::default_simd_layout(S::Nsimd()));
+  qcd::GaugeField<S> gauge(&grid);
+  qcd::random_gauge(SiteRNG(2018), gauge);  // disordered start
+
+  qcd::MetropolisParams params;
+  params.beta = beta;
+  params.epsilon = 0.24;
+  params.hits_per_link = 4;
+
+  std::printf("quenched Metropolis on 4^4, beta = %.2f\n\n", beta);
+  std::printf("  sweep   plaquette   acceptance\n");
+  std::printf("  %5d   %+.6f   %s\n", 0, qcd::average_plaquette(gauge), "-");
+  StopWatch sw;
+  for (int sweep = 1; sweep <= sweeps; ++sweep) {
+    const auto stats = qcd::metropolis_sweep(gauge, params, sweep);
+    std::printf("  %5d   %+.6f   %.2f\n", sweep, qcd::average_plaquette(gauge),
+                stats.acceptance);
+  }
+  std::printf("\n%d sweeps in %.1f s\n\n", sweeps, sw.seconds());
+
+  std::printf("observables on the final configuration:\n");
+  std::printf("  W(1,1) = %+.5f   W(1,2) = %+.5f   W(2,2) = %+.5f\n",
+              qcd::average_wilson_loop(gauge, 1, 1), qcd::average_wilson_loop(gauge, 1, 2),
+              qcd::average_wilson_loop(gauge, 2, 2));
+  const auto poly = qcd::polyakov_loop(gauge);
+  std::printf("  Polyakov loop = %+.5f %+.5fi\n", poly.real(), poly.imag());
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Wilson solver workload: the paper's motivating computation (Sec. II-A) --
+// an iterative Conjugate Gradient solve against the Wilson Dirac operator
+// on a random gauge background.
+//
+// Usage: ./examples/wilson_cg [L] [T] [mass] [tol] [vl_bits]
+//   defaults:                  4   8   0.2    1e-8  512
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/svelat.h"
+
+namespace {
+
+template <std::size_t VLB>
+int run(int L, int T, double mass, double tol) {
+  using namespace svelat;
+  using S = simd::SimdComplex<double, VLB, simd::SveFcmla>;
+
+  lattice::GridCartesian grid({L, L, L, T},
+                              lattice::GridCartesian::default_simd_layout(S::Nsimd()));
+  std::printf("lattice %s | VL %zu bit | mass %.3f | tol %.1e\n",
+              lattice::to_string(grid.fdimensions()).c_str(), 8 * VLB, mass, tol);
+
+  qcd::GaugeField<S> gauge(&grid);
+  qcd::random_gauge(SiteRNG(2018), gauge);
+  std::printf("plaquette %.6f\n", qcd::average_plaquette(gauge));
+
+  qcd::LatticeFermion<S> b(&grid), x(&grid);
+  gaussian_fill(SiteRNG(7), b);
+  x.set_zero();
+
+  const qcd::WilsonDirac<S> dirac(gauge, mass);
+  StopWatch sw;
+  sve::CounterScope insns;
+  const auto stats = solver::solve_wilson(dirac, b, x, tol, 2000);
+  const double secs = sw.seconds();
+
+  // One mdag_m is 2 Dhop applications plus site-diagonal work.
+  const double flops = 2.0 * qcd::kDhopFlopsPerSite * grid.gsites() * stats.iterations;
+  std::printf("%s after %d iterations in %.2f s\n",
+              stats.converged ? "converged" : "STOPPED", stats.iterations, secs);
+  std::printf("final residual %.3e | true residual %.3e\n", stats.final_residual,
+              stats.true_residual);
+  std::printf("simulated Dslash work: %.2f MFlop (%.2f MFlop/s wall on the simulator)\n",
+              flops / 1e6, flops / 1e6 / secs);
+  std::printf("simulated instruction mix:\n%s", insns.delta().report().c_str());
+
+  // Convergence curve (every 10th iteration).
+  std::printf("\nresidual history (|r|/|b|):\n");
+  for (std::size_t i = 0; i < stats.residual_history.size(); i += 10)
+    std::printf("  iter %4zu  %.3e\n", i, stats.residual_history[i]);
+  return stats.converged ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int L = argc > 1 ? std::atoi(argv[1]) : 4;
+  const int T = argc > 2 ? std::atoi(argv[2]) : 8;
+  const double mass = argc > 3 ? std::atof(argv[3]) : 0.2;
+  const double tol = argc > 4 ? std::atof(argv[4]) : 1e-8;
+  const unsigned vl = argc > 5 ? static_cast<unsigned>(std::atoi(argv[5])) : 512;
+
+  svelat::sve::set_vector_length(vl);
+  switch (vl) {
+    case 128: return run<svelat::simd::kVLB128>(L, T, mass, tol);
+    case 256: return run<svelat::simd::kVLB256>(L, T, mass, tol);
+    case 512: return run<svelat::simd::kVLB512>(L, T, mass, tol);
+    default:
+      std::fprintf(stderr, "vl_bits must be 128, 256 or 512 (paper Sec. V-B)\n");
+      return 2;
+  }
+}

@@ -1,0 +1,71 @@
+// Simulated communicator: an in-process stand-in for the MPI layer.
+//
+// The paper's Grid runs distribute sub-lattices over MPI ranks (Sec. II-A);
+// no multi-node fabric exists in this reproduction, so the communicator
+// hosts R logical ranks inside one process and routes messages through
+// in-memory mailboxes.  The pack -> (compress) -> send -> recv ->
+// (decompress) -> unpack code path is therefore fully executable and
+// testable, which is all the ISA port needs (the fabric itself is not
+// SVE-relevant).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <tuple>
+#include <vector>
+
+#include "support/assert.h"
+
+namespace svelat::comms {
+
+class SimCommunicator {
+ public:
+  explicit SimCommunicator(int nranks) : nranks_(nranks) {
+    SVELAT_ASSERT_MSG(nranks > 0, "need at least one rank");
+  }
+
+  int size() const { return nranks_; }
+
+  /// Post a message from `from` to `to` with a user tag.
+  void send(int from, int to, int tag, std::vector<std::uint8_t> payload) {
+    check_rank(from);
+    check_rank(to);
+    mailboxes_[key(from, to, tag)].push_back(std::move(payload));
+    bytes_sent_ += mailboxes_[key(from, to, tag)].back().size();
+  }
+
+  /// Receive the oldest matching message; aborts if none is pending
+  /// (deterministic single-threaded schedule -- a recv must follow its send).
+  std::vector<std::uint8_t> recv(int to, int from, int tag) {
+    check_rank(from);
+    check_rank(to);
+    auto it = mailboxes_.find(key(from, to, tag));
+    SVELAT_ASSERT_MSG(it != mailboxes_.end() && !it->second.empty(),
+                      "recv without matching send");
+    std::vector<std::uint8_t> payload = std::move(it->second.front());
+    it->second.pop_front();
+    return payload;
+  }
+
+  bool has_pending(int to, int from, int tag) const {
+    auto it = mailboxes_.find(key(from, to, tag));
+    return it != mailboxes_.end() && !it->second.empty();
+  }
+
+  /// Total payload bytes that crossed the (simulated) network.
+  std::size_t bytes_sent() const { return bytes_sent_; }
+  void reset_counters() { bytes_sent_ = 0; }
+
+ private:
+  using Key = std::tuple<int, int, int>;
+  static Key key(int from, int to, int tag) { return {from, to, tag}; }
+  void check_rank(int r) const { SVELAT_ASSERT_MSG(r >= 0 && r < nranks_, "bad rank"); }
+
+  int nranks_;
+  std::map<Key, std::deque<std::vector<std::uint8_t>>> mailboxes_;
+  std::size_t bytes_sent_ = 0;
+};
+
+}  // namespace svelat::comms

@@ -1,0 +1,60 @@
+#include "comms/halo.h"
+
+namespace svelat::comms {
+
+std::vector<std::uint8_t> compress(const std::vector<double>& data, Compression mode) {
+  const std::size_t n = data.size();
+  switch (mode) {
+    case Compression::kNone: {
+      std::vector<std::uint8_t> wire(n * sizeof(double));
+      std::memcpy(wire.data(), data.data(), wire.size());
+      return wire;
+    }
+    case Compression::kF32: {
+      std::vector<float> tmp(n);
+      narrow_f64_f32(data.data(), tmp.data(), n);
+      std::vector<std::uint8_t> wire(n * sizeof(float));
+      std::memcpy(wire.data(), tmp.data(), wire.size());
+      return wire;
+    }
+    case Compression::kF16: {
+      std::vector<half> tmp(n);
+      narrow_f64_f16(data.data(), tmp.data(), n);
+      std::vector<std::uint8_t> wire(n * sizeof(half));
+      std::memcpy(wire.data(), tmp.data(), wire.size());
+      return wire;
+    }
+  }
+  SVELAT_ASSERT(false);
+  return {};
+}
+
+std::vector<double> decompress(const std::vector<std::uint8_t>& wire, std::size_t n,
+                               Compression mode) {
+  std::vector<double> out(n);
+  switch (mode) {
+    case Compression::kNone: {
+      SVELAT_ASSERT(wire.size() == n * sizeof(double));
+      std::memcpy(out.data(), wire.data(), wire.size());
+      return out;
+    }
+    case Compression::kF32: {
+      SVELAT_ASSERT(wire.size() == n * sizeof(float));
+      std::vector<float> tmp(n);
+      std::memcpy(tmp.data(), wire.data(), wire.size());
+      widen_f32_f64(tmp.data(), out.data(), n);
+      return out;
+    }
+    case Compression::kF16: {
+      SVELAT_ASSERT(wire.size() == n * sizeof(half));
+      std::vector<half> tmp(n);
+      std::memcpy(tmp.data(), wire.data(), wire.size());
+      widen_f16_f64(tmp.data(), out.data(), n);
+      return out;
+    }
+  }
+  SVELAT_ASSERT(false);
+  return {};
+}
+
+}  // namespace svelat::comms

@@ -1,0 +1,108 @@
+#include "comms/precision.h"
+
+#include "sve/sve.h"
+
+namespace svelat::comms {
+
+using namespace sve;
+
+void narrow_f64_f32(const double* in, float* out, std::size_t n) {
+  const std::size_t step = svcntd();
+  for (std::size_t i = 0; i < n; i += 2 * step) {
+    // Two f64 vectors -> converted halves in even f32 sub-lanes -> UZP1
+    // compacts them into one full f32 vector.
+    const svbool_t pg_lo = svwhilelt_b64(i, n);
+    const svbool_t pg_hi = svwhilelt_b64(i + step, n);
+    const svfloat64_t lo = svld1(pg_lo, &in[i]);
+    const svfloat64_t hi = svld1(pg_hi, &in[i + step]);
+    const svfloat32_t clo = svcvt_f32_f64_x(pg_lo, lo);
+    const svfloat32_t chi = svcvt_f32_f64_x(pg_hi, hi);
+    const svfloat32_t packed = svuzp1(clo, chi);
+    svst1(svwhilelt_b32(i, n), &out[i], packed);
+  }
+}
+
+void widen_f32_f64(const float* in, double* out, std::size_t n) {
+  const std::size_t step = svcntd();
+  for (std::size_t i = 0; i < n; i += 2 * step) {
+    const svbool_t pg32 = svwhilelt_b32(i, n);
+    const svfloat32_t v = svld1(pg32, &in[i]);
+    // Spread the halves so each f32 sits in the even sub-lane of a 64-bit
+    // container, then convert.
+    const svfloat32_t zero = svdup_f32(0.0f);
+    const svfloat32_t lo = svzip1(v, zero);
+    const svfloat32_t hi = svzip2(v, zero);
+    const svbool_t pg_lo = svwhilelt_b64(i, n);
+    const svbool_t pg_hi = svwhilelt_b64(i + step, n);
+    svst1(pg_lo, &out[i], svcvt_f64_f32_x(pg_lo, lo));
+    svst1(pg_hi, &out[i + step], svcvt_f64_f32_x(pg_hi, hi));
+  }
+}
+
+void narrow_f32_f16(const float* in, half* out, std::size_t n) {
+  const std::size_t step = svcntw();
+  for (std::size_t i = 0; i < n; i += 2 * step) {
+    const svbool_t pg_lo = svwhilelt_b32(i, n);
+    const svbool_t pg_hi = svwhilelt_b32(i + step, n);
+    const svfloat32_t lo = svld1(pg_lo, &in[i]);
+    const svfloat32_t hi = svld1(pg_hi, &in[i + step]);
+    const svfloat16_t clo = svcvt_f16_f32_x(pg_lo, lo);
+    const svfloat16_t chi = svcvt_f16_f32_x(pg_hi, hi);
+    const svfloat16_t packed = svuzp1(clo, chi);
+    svst1(svwhilelt_b16(i, n), &out[i], packed);
+  }
+}
+
+void widen_f16_f32(const half* in, float* out, std::size_t n) {
+  const std::size_t step = svcntw();
+  for (std::size_t i = 0; i < n; i += 2 * step) {
+    const svbool_t pg16 = svwhilelt_b16(i, n);
+    const svfloat16_t v = svld1(pg16, &in[i]);
+    const svfloat16_t zero = svdup_f16(half(0.0f));
+    const svfloat16_t lo = svzip1(v, zero);
+    const svfloat16_t hi = svzip2(v, zero);
+    const svbool_t pg_lo = svwhilelt_b32(i, n);
+    const svbool_t pg_hi = svwhilelt_b32(i + step, n);
+    svst1(pg_lo, &out[i], svcvt_f32_f16_x(pg_lo, lo));
+    svst1(pg_hi, &out[i + step], svcvt_f32_f16_x(pg_hi, hi));
+  }
+}
+
+void narrow_f64_f16(const double* in, half* out, std::size_t n) {
+  // Two-stage pipeline d -> s -> h would need a scratch buffer; the direct
+  // FCVT d -> h leaves one f16 per 64-bit container (lane 4i), so four
+  // vectors compact via two UZP1 levels.
+  const std::size_t step = svcntd();
+  for (std::size_t i = 0; i < n; i += 4 * step) {
+    svfloat16_t q[4];
+    for (unsigned k = 0; k < 4; ++k) {
+      const svbool_t pg = svwhilelt_b64(i + k * step, n);
+      q[k] = svcvt_f16_f64_x(pg, svld1(pg, &in[i + k * step]));
+    }
+    // Level 1: f16 at lane 4i -> lane 2i.  Level 2: lane 2i -> lane i.
+    const svfloat16_t a = svuzp1(q[0], q[1]);
+    const svfloat16_t b = svuzp1(q[2], q[3]);
+    const svfloat16_t packed = svuzp1(a, b);
+    svst1(svwhilelt_b16(i, n), &out[i], packed);
+  }
+}
+
+void widen_f16_f64(const half* in, double* out, std::size_t n) {
+  const std::size_t step = svcntd();
+  for (std::size_t i = 0; i < n; i += 4 * step) {
+    const svbool_t pg16 = svwhilelt_b16(i, n);
+    const svfloat16_t v = svld1(pg16, &in[i]);
+    const svfloat16_t zero = svdup_f16(half(0.0f));
+    // Two ZIP levels spread f16 element j to lane 4j.
+    const svfloat16_t lo = svzip1(v, zero);
+    const svfloat16_t hi = svzip2(v, zero);
+    const svfloat16_t q[4] = {svzip1(lo, zero), svzip2(lo, zero), svzip1(hi, zero),
+                              svzip2(hi, zero)};
+    for (unsigned k = 0; k < 4; ++k) {
+      const svbool_t pg = svwhilelt_b64(i + k * step, n);
+      svst1(pg, &out[i + k * step], svcvt_f64_f16_x(pg, q[k]));
+    }
+  }
+}
+
+}  // namespace svelat::comms

@@ -1,0 +1,34 @@
+// Buffer-level precision conversion using the SVE FCVT + UZP/ZIP idiom.
+//
+// The paper notes that Grid uses 16-bit floats exclusively "for data
+// compression upon data exchange over the communications network"
+// (Sec. V-B), and lists precision conversion among the machine-specific
+// operations of the abstraction layer (Sec. II-C).  These routines
+// implement the conversion pipelines with VLA loops (they must work for
+// any buffer length, so they use WHILELT predication like Sec. IV-C).
+//
+// SVE converts within containers of the wider type; narrowing therefore
+// processes two wide vectors and compacts the results with UZP1, and
+// widening spreads one narrow vector with ZIP1/ZIP2 before converting.
+#pragma once
+
+#include <cstddef>
+
+#include "support/half.h"
+
+namespace svelat::comms {
+
+/// f64 -> f32, element-wise, any n.
+void narrow_f64_f32(const double* in, float* out, std::size_t n);
+/// f32 -> f64.
+void widen_f32_f64(const float* in, double* out, std::size_t n);
+/// f32 -> f16 (round-to-nearest-even, like FCVT).
+void narrow_f32_f16(const float* in, half* out, std::size_t n);
+/// f16 -> f32 (exact).
+void widen_f16_f32(const half* in, float* out, std::size_t n);
+/// f64 -> f16 via the direct FCVT pair.
+void narrow_f64_f16(const double* in, half* out, std::size_t n);
+/// f16 -> f64.
+void widen_f16_f64(const half* in, double* out, std::size_t n);
+
+}  // namespace svelat::comms

@@ -1,0 +1,19 @@
+#include "core/config.h"
+
+#include <cstdio>
+
+#include "sve/sve_config.h"
+
+namespace svelat::core {
+
+std::string runtime_summary() {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "svelat %s | simulated SVE vector length: %u bit (%u byte), "
+                "f64 lanes: %u, f32 lanes: %u",
+                kVersion, sve::vector_bits(), sve::vector_bytes(),
+                sve::lanes<double>(), sve::lanes<float>());
+  return buf;
+}
+
+}  // namespace svelat::core

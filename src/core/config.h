@@ -1,0 +1,13 @@
+// Library version and runtime configuration summary.
+#pragma once
+
+#include <string>
+
+namespace svelat::core {
+
+inline constexpr const char* kVersion = "1.0.0";
+
+/// Human-readable summary of the build and current simulator state.
+std::string runtime_summary();
+
+}  // namespace svelat::core

@@ -1,0 +1,50 @@
+// The four code examples of paper Sec. IV, as library functions.
+//
+// Each variant computes z[i] = x[i] * y[i]:
+//   mult_real_sve        Sec. IV-A: real arrays, VLA loop (what armclang
+//                        auto-vectorization produces for plain doubles).
+//   mult_cplx_autovec    Sec. IV-B: complex arrays; mirrors armclang's
+//                        auto-vectorized strategy -- LD2 structure loads,
+//                        real fmul/fmla/fnmls, ST2 structure store.  The
+//                        LLVM 5 backend could not emit FCMLA, so this is
+//                        the instruction stream std::complex loops got.
+//   mult_cplx_acle       Sec. IV-C: ACLE with FCMLA in a VLA loop over
+//                        interleaved (re, im) doubles.
+//   mult_cplx_acle_fixed Sec. IV-D: ACLE with FCMLA, no loop -- processes
+//                        exactly one hardware vector, mimicking fixed-size
+//                        SIMD programming.  Correct only when the data
+//                        fits one vector ("matching SVE hardware").
+//
+// mult_cplx_scalar is the plain scalar reference used for verification.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+
+namespace svelat::kernels {
+
+using cplx = std::complex<double>;
+
+/// Scalar reference: z[i] = x[i] * y[i] for complex arrays.
+void mult_cplx_scalar(std::size_t n, const cplx* x, const cplx* y, cplx* z);
+
+/// Sec. IV-A: pairwise real multiply via VLA predicated loop.
+void mult_real_sve(std::size_t n, const double* x, const double* y, double* z);
+
+/// Sec. IV-B: complex multiply via structure load/store and real arithmetic
+/// (armclang auto-vectorization strategy; no FCMLA).
+void mult_cplx_autovec(std::size_t n, const cplx* x, const cplx* y, cplx* z);
+
+/// Sec. IV-C: complex multiply via ACLE FCMLA, VLA loop.  Arrays are
+/// interleaved (re, im) doubles of 2n elements, equivalent to cplx[n].
+void mult_cplx_acle(std::size_t n, const double* x, const double* y, double* z);
+
+/// Sec. IV-D: complex multiply via ACLE FCMLA on exactly one hardware
+/// vector (svcntd()/2 complex numbers); no loop, PTRUE predication.
+/// The caller must supply arrays holding at least one full vector.
+void mult_cplx_acle_fixed(const double* x, const double* y, double* z);
+
+/// Number of complex numbers one hardware vector holds (f64 lanes / 2).
+std::size_t cplx_per_vector();
+
+}  // namespace svelat::kernels

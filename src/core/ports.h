@@ -1,0 +1,30 @@
+// Port registry: the Table I analogue.
+//
+// Paper Table I lists the SIMD architectures Grid supported at the time of
+// writing; the contribution of the paper adds SVE.  This registry reports
+// both: the upstream table (as documentation of the reproduction target)
+// and the ports this library actually implements and tests.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace svelat::core {
+
+struct PortInfo {
+  std::string simd_family;    ///< e.g. "Intel AVX/AVX2", "ARM SVE (FCMLA)"
+  std::string vector_length;  ///< e.g. "256 bit", "128/256/512 bit"
+  bool implemented_here;      ///< true if this library builds and tests it
+  std::string notes;
+};
+
+/// The upstream-Grid rows of paper Table I.
+std::vector<PortInfo> grid_table1_ports();
+
+/// The ports implemented by this reproduction (generic + SVE backends).
+std::vector<PortInfo> svelat_ports();
+
+/// Formatted table (both sections), ready to print.
+std::string ports_table();
+
+}  // namespace svelat::core

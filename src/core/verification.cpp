@@ -1,0 +1,546 @@
+#include "core/verification.h"
+
+#include <cmath>
+#include <complex>
+#include <functional>
+
+#include "comms/halo.h"
+#include "qcd/plaquette.h"
+#include "qcd/qcd.h"
+#include "solver/cg.h"
+#include "sve/sve.h"
+
+namespace svelat::core {
+
+namespace {
+
+using C = std::complex<double>;
+
+/// One check: name + body returning (pass, detail).
+struct Check {
+  const char* name;
+  std::function<std::pair<bool, double>()> body;
+};
+
+template <class S>
+class Battery {
+ public:
+  Battery()
+      : grid_({4, 4, 4, 4}, lattice::GridCartesian::default_simd_layout(S::Nsimd())),
+        gauge_(&grid_),
+        psi_(&grid_) {
+    qcd::random_gauge(SiteRNG(901), gauge_);
+    gaussian_fill(SiteRNG(902), psi_);
+  }
+
+  std::vector<CheckResult> run() {
+    std::vector<CheckResult> out;
+    for (const Check& c : checks()) {
+      CheckResult r;
+      r.name = c.name;
+      const auto [pass, detail] = c.body();
+      r.pass = pass;
+      r.detail = detail;
+      out.push_back(std::move(r));
+    }
+    return out;
+  }
+
+ private:
+  using Fermion = qcd::LatticeFermion<S>;
+
+  static S make_simd(int tag) {
+    S s = S::zero();
+    for (unsigned i = 0; i < S::Nsimd(); ++i)
+      s.set_lane(i, C(0.25 * ((tag * 37 + static_cast<int>(i) * 11) % 19) - 2.0,
+                      0.125 * ((tag * 53 + static_cast<int>(i) * 29) % 17) - 1.0));
+    return s;
+  }
+
+  static std::pair<bool, double> bounded(double err, double tol) {
+    return {err <= tol && std::isfinite(err), err};
+  }
+
+  static double cdiff(const S& a, const S& b) {
+    double d = 0;
+    for (unsigned i = 0; i < S::Nsimd(); ++i) d = std::max(d, std::abs(a.lane(i) - b.lane(i)));
+    return d;
+  }
+
+  std::vector<Check> checks() {
+    std::vector<Check> cs;
+
+    // --- SIMD functor checks (1-10) ---------------------------------------
+    cs.push_back({"simd_splat_lanes", [] {
+                    const S s(C(1.5, -2.0));
+                    double err = 0;
+                    for (unsigned i = 0; i < S::Nsimd(); ++i)
+                      err = std::max(err, std::abs(s.lane(i) - C(1.5, -2.0)));
+                    return bounded(err, 0.0);
+                  }});
+    cs.push_back({"simd_add_sub", [] {
+                    const S a = make_simd(1), b = make_simd(2);
+                    return bounded(cdiff((a + b) - b, a), 0.0);
+                  }});
+    cs.push_back({"simd_mult_complex", [] {
+                    const S a = make_simd(3), b = make_simd(4);
+                    const S p = a * b;
+                    double err = 0;
+                    for (unsigned i = 0; i < S::Nsimd(); ++i)
+                      err = std::max(err, std::abs(p.lane(i) - a.lane(i) * b.lane(i)));
+                    return bounded(err, 1e-13);
+                  }});
+    cs.push_back({"simd_mac_complex", [] {
+                    S acc = make_simd(5);
+                    const S x = make_simd(6), y = make_simd(7);
+                    const S before = acc;
+                    acc.mac(x, y);
+                    double err = 0;
+                    for (unsigned i = 0; i < S::Nsimd(); ++i)
+                      err = std::max(err, std::abs(acc.lane(i) - (before.lane(i) +
+                                                                  x.lane(i) * y.lane(i))));
+                    return bounded(err, 1e-13);
+                  }});
+    cs.push_back({"simd_conj_mult", [] {
+                    const S a = make_simd(8), b = make_simd(9);
+                    const S p = mult_conj(a, b);
+                    double err = 0;
+                    for (unsigned i = 0; i < S::Nsimd(); ++i)
+                      err = std::max(err,
+                                     std::abs(p.lane(i) - std::conj(a.lane(i)) * b.lane(i)));
+                    return bounded(err, 1e-13);
+                  }});
+    cs.push_back({"simd_times_i", [] {
+                    const S a = make_simd(10);
+                    return bounded(cdiff(timesI(timesI(a)), -a), 0.0);
+                  }});
+    cs.push_back({"simd_conjugate_involution", [] {
+                    const S a = make_simd(11);
+                    return bounded(cdiff(conjugate(conjugate(a)), a), 0.0);
+                  }});
+    cs.push_back({"simd_permute_involution", [] {
+                    const S a = make_simd(12);
+                    double err = 0;
+                    for (unsigned d = 1; d < S::Nsimd(); d *= 2)
+                      err = std::max(err, cdiff(permute_blocks(permute_blocks(a, d), d), a));
+                    return bounded(err, 0.0);
+                  }});
+    cs.push_back({"simd_reduce", [] {
+                    const S a = make_simd(13);
+                    C expect{};
+                    for (unsigned i = 0; i < S::Nsimd(); ++i) expect += a.lane(i);
+                    return bounded(std::abs(reduce(a) - expect), 1e-12);
+                  }});
+    cs.push_back({"simd_distributivity", [] {
+                    const S a = make_simd(14), b = make_simd(15), c = make_simd(16);
+                    return bounded(cdiff(a * (b + c), a * b + a * c), 1e-12);
+                  }});
+
+    // --- tensor checks (11-15) ----------------------------------------------
+    using Mat = qcd::ColourMatrix<S>;
+    using Vec = qcd::ColourVector<S>;
+    auto make_mat = [](int tag) {
+      Mat m = tensor::Zero<Mat>();
+      for (int i = 0; i < qcd::Nc; ++i)
+        for (int j = 0; j < qcd::Nc; ++j) m(i, j) = make_simd(tag + 3 * i + j);
+      return m;
+    };
+    auto make_vec = [](int tag) {
+      Vec v = tensor::Zero<Vec>();
+      for (int i = 0; i < qcd::Nc; ++i) v(i) = make_simd(tag + i);
+      return v;
+    };
+    auto mat_err = [](const Mat& a, const Mat& b) {
+      double err = 0;
+      for (int i = 0; i < qcd::Nc; ++i)
+        for (int j = 0; j < qcd::Nc; ++j)
+          for (unsigned l = 0; l < S::Nsimd(); ++l)
+            err = std::max(err, std::abs(a(i, j).lane(l) - b(i, j).lane(l)));
+      return err;
+    };
+    cs.push_back({"tensor_matvec", [make_mat, make_vec] {
+                    const Mat m = make_mat(20);
+                    const Vec v = make_vec(30);
+                    const Vec r = m * v;
+                    double err = 0;
+                    for (unsigned l = 0; l < S::Nsimd(); ++l)
+                      for (int i = 0; i < qcd::Nc; ++i) {
+                        C expect{};
+                        for (int j = 0; j < qcd::Nc; ++j)
+                          expect += m(i, j).lane(l) * v(j).lane(l);
+                        err = std::max(err, std::abs(r(i).lane(l) - expect));
+                      }
+                    return bounded(err, 1e-12);
+                  }});
+    cs.push_back({"tensor_matmul_assoc", [make_mat, mat_err] {
+                    const Mat a = make_mat(40), b = make_mat(41), c = make_mat(42);
+                    return bounded(mat_err((a * b) * c, a * (b * c)), 1e-10);
+                  }});
+    cs.push_back({"tensor_adj_product", [make_mat, mat_err] {
+                    const Mat a = make_mat(43), b = make_mat(44);
+                    return bounded(mat_err(tensor::adj(a * b), tensor::adj(b) * tensor::adj(a)),
+                                   1e-11);
+                  }});
+    cs.push_back({"tensor_trace_cyclic", [make_mat] {
+                    const Mat a = make_mat(45), b = make_mat(46);
+                    const C lhs = reduce(tensor::trace(a * b));
+                    const C rhs = reduce(tensor::trace(b * a));
+                    return bounded(std::abs(lhs - rhs), 1e-10);
+                  }});
+    cs.push_back({"tensor_inner_positive", [make_vec] {
+                    const Vec v = make_vec(47);
+                    const C ip = reduce(tensor::innerProduct(v, v));
+                    const bool ok = ip.real() > 0 && std::abs(ip.imag()) < 1e-12;
+                    return std::make_pair(ok, ip.real());
+                  }});
+
+    // --- lattice checks (16-22) ---------------------------------------------
+    cs.push_back({"lattice_coord_bijection", [this] {
+                    double bad = 0;
+                    for (std::int64_t o = 0; o < grid_.osites(); ++o)
+                      for (unsigned l = 0; l < grid_.isites(); ++l) {
+                        const auto x = grid_.global_coor(o, l);
+                        if (grid_.outer_index(x) != o || grid_.inner_index(x) != l) ++bad;
+                      }
+                    return bounded(bad, 0.0);
+                  }});
+    cs.push_back({"lattice_peek_poke", [this] {
+                    Fermion f(&grid_);
+                    f.set_zero();
+                    using sobj = typename Fermion::scalar_object;
+                    sobj s = tensor::Zero<sobj>();
+                    s(2)(1) = C(3.5, -1.25);
+                    f.poke({1, 2, 3, 0}, s);
+                    const auto got = f.peek({1, 2, 3, 0});
+                    return bounded(std::abs(got(2)(1) - C(3.5, -1.25)), 0.0);
+                  }});
+    cs.push_back({"lattice_fill_reproducible", [this] {
+                    Fermion a(&grid_), b(&grid_);
+                    gaussian_fill(SiteRNG(903), a);
+                    gaussian_fill(SiteRNG(903), b);
+                    return bounded(norm2(a - b), 0.0);
+                  }});
+    cs.push_back({"cshift_matches_naive", [this] {
+                    double err = 0;
+                    for (int mu = 0; mu < lattice::Nd; ++mu) {
+                      const Fermion s = lattice::Cshift(psi_, mu, +1);
+                      for (int t = 0; t < 4; ++t) {
+                        const lattice::Coordinate x{t, (t + 1) % 4, 0, 3};
+                        const auto got = s.peek(x);
+                        const auto expect =
+                            psi_.peek(lattice::displace(x, mu, +1, grid_.fdimensions()));
+                        for (int sp = 0; sp < qcd::Ns; ++sp)
+                          for (int c = 0; c < qcd::Nc; ++c)
+                            err = std::max(err, std::abs(got(sp)(c) - expect(sp)(c)));
+                      }
+                    }
+                    return bounded(err, 0.0);
+                  }});
+    cs.push_back({"cshift_roundtrip", [this] {
+                    double err = 0;
+                    for (int mu = 0; mu < lattice::Nd; ++mu)
+                      err = std::max(
+                          err, norm2(lattice::Cshift(lattice::Cshift(psi_, mu, +1), mu, -1) -
+                                     psi_));
+                    return bounded(err, 0.0);
+                  }});
+    cs.push_back({"cshift_norm_invariant", [this] {
+                    const double n = norm2(psi_);
+                    double err = 0;
+                    for (int mu = 0; mu < lattice::Nd; ++mu)
+                      err = std::max(err,
+                                     std::abs(norm2(lattice::Cshift(psi_, mu, +1)) - n));
+                    return bounded(err / n, 1e-14);
+                  }});
+    cs.push_back({"cshift_orbit", [this] {
+                    Fermion s = psi_;
+                    for (int k = 0; k < grid_.fdimensions()[1]; ++k)
+                      s = lattice::Cshift(s, 1, +1);
+                    return bounded(norm2(s - psi_), 0.0);
+                  }});
+
+    // --- gamma checks (23-26) ------------------------------------------------
+    cs.push_back({"gamma_anticommute", [] {
+                    double err = 0;
+                    for (int mu = 0; mu < 4; ++mu)
+                      for (int nu = 0; nu < 4; ++nu) {
+                        const auto anti = qcd::gamma_matrix(mu) * qcd::gamma_matrix(nu) +
+                                          qcd::gamma_matrix(nu) * qcd::gamma_matrix(mu);
+                        for (int i = 0; i < qcd::Ns; ++i)
+                          for (int j = 0; j < qcd::Ns; ++j) {
+                            const C expect = (mu == nu && i == j) ? C(2, 0) : C(0, 0);
+                            err = std::max(err, std::abs(anti(i, j) - expect));
+                          }
+                      }
+                    return bounded(err, 1e-14);
+                  }});
+    cs.push_back({"gamma_projector_idempotent", [] {
+                    double err = 0;
+                    for (int mu = 0; mu < 4; ++mu)
+                      for (int sign : {+1, -1}) {
+                        const auto p = qcd::one_plus_gamma(mu, sign);
+                        const auto pp = p * p;
+                        for (int i = 0; i < qcd::Ns; ++i)
+                          for (int j = 0; j < qcd::Ns; ++j)
+                            err = std::max(err, std::abs(pp(i, j) - C(2, 0) * p(i, j)));
+                      }
+                    return bounded(err, 1e-14);
+                  }});
+    cs.push_back({"gamma_project_reconstruct", [] {
+                    using SC = qcd::SpinColourVector<C>;
+                    SC p;
+                    for (int s = 0; s < qcd::Ns; ++s)
+                      for (int c = 0; c < qcd::Nc; ++c)
+                        p(s)(c) = C(0.3 * (s + 1) - c, 0.2 * c - s);
+                    double err = 0;
+                    for (int mu = 0; mu < 4; ++mu)
+                      for (int sign : {+1, -1}) {
+                        const auto r =
+                            qcd::spin_reconstruct(mu, sign, qcd::spin_project(mu, sign, p));
+                        const auto m = qcd::one_plus_gamma(mu, sign);
+                        for (int si = 0; si < qcd::Ns; ++si)
+                          for (int c = 0; c < qcd::Nc; ++c) {
+                            C expect{};
+                            for (int sj = 0; sj < qcd::Ns; ++sj)
+                              expect += m(si, sj) * p(sj)(c);
+                            err = std::max(err, std::abs(r(si)(c) - expect));
+                          }
+                      }
+                    return bounded(err, 1e-13);
+                  }});
+    cs.push_back({"gamma5_squared", [] {
+                    const auto g5 = qcd::gamma_matrix(4);
+                    const auto sq = g5 * g5;
+                    double err = 0;
+                    for (int i = 0; i < qcd::Ns; ++i)
+                      for (int j = 0; j < qcd::Ns; ++j)
+                        err = std::max(err,
+                                       std::abs(sq(i, j) - ((i == j) ? C(1, 0) : C(0, 0))));
+                    return bounded(err, 1e-14);
+                  }});
+
+    // --- SU(3) and plaquette checks (27-32) -----------------------------------
+    cs.push_back({"su3_unitarity", [] {
+                    SiteRNG rng(904);
+                    double err = 0;
+                    for (std::uint64_t k = 0; k < 8; ++k)
+                      err = std::max(err, qcd::unitarity_error(qcd::random_su3(rng, k)));
+                    return bounded(err, 1e-12);
+                  }});
+    cs.push_back({"su3_det_one", [] {
+                    SiteRNG rng(905);
+                    double err = 0;
+                    for (std::uint64_t k = 0; k < 8; ++k)
+                      err = std::max(
+                          err, std::abs(qcd::determinant(qcd::random_su3(rng, k)) - C(1, 0)));
+                    return bounded(err, 1e-12);
+                  }});
+    cs.push_back({"su3_group_closure", [] {
+                    SiteRNG rng(906);
+                    const auto a = qcd::random_su3(rng, 1);
+                    const auto b = qcd::random_su3(rng, 2);
+                    return bounded(qcd::unitarity_error(a * b), 1e-12);
+                  }});
+    cs.push_back({"plaquette_unit_gauge", [this] {
+                    qcd::GaugeField<S> unit(&grid_);
+                    qcd::unit_gauge(unit);
+                    return bounded(std::abs(qcd::average_plaquette(unit) - 1.0), 1e-12);
+                  }});
+    cs.push_back({"plaquette_gauge_invariant", [this] {
+                    qcd::GaugeField<S> g = gauge_;
+                    const double before = qcd::average_plaquette(g);
+                    lattice::Lattice<qcd::ColourMatrix<S>> v(&grid_);
+                    qcd::random_colour_transform(SiteRNG(907), v);
+                    qcd::gauge_transform(g, v);
+                    return bounded(std::abs(qcd::average_plaquette(g) - before), 1e-12);
+                  }});
+    cs.push_back({"plaquette_range", [this] {
+                    const double p = qcd::average_plaquette(gauge_);
+                    return std::make_pair(p > -1.0 && p < 1.0, p);
+                  }});
+
+    // --- Wilson operator checks (33-37) -----------------------------------------
+    cs.push_back({"dhop_vs_reference", [this] {
+                    const qcd::WilsonDirac<S> dirac(gauge_, 0.1);
+                    Fermion out(&grid_), ref(&grid_);
+                    dirac.dhop(psi_, out);
+                    qcd::dhop_reference(gauge_, psi_, ref);
+                    return bounded(norm2(out - ref) / norm2(ref), 1e-24);
+                  }});
+    cs.push_back({"dhop_free_field", [this] {
+                    qcd::GaugeField<S> unit(&grid_);
+                    qcd::unit_gauge(unit);
+                    Fermion cpsi(&grid_), out(&grid_);
+                    using sobj = typename Fermion::scalar_object;
+                    sobj s = tensor::Zero<sobj>();
+                    for (int sp = 0; sp < qcd::Ns; ++sp)
+                      for (int c = 0; c < qcd::Nc; ++c) s(sp)(c) = C(1.0 + sp, 0.5 * c);
+                    for (std::int64_t o = 0; o < grid_.osites(); ++o)
+                      for (unsigned l = 0; l < grid_.isites(); ++l)
+                        cpsi.poke(grid_.global_coor(o, l), s);
+                    const qcd::WilsonDirac<S> dirac(unit, 0.0);
+                    dirac.dhop(cpsi, out);
+                    // Dh(const) = 8 * const.
+                    Fermion expect = 8.0 * cpsi;
+                    return bounded(norm2(out - expect) / norm2(expect), 1e-24);
+                  }});
+    cs.push_back({"dhop_gamma5_hermiticity", [this] {
+                    const qcd::WilsonDirac<S> dirac(gauge_, 0.05);
+                    Fermion a(&grid_), b(&grid_), ma(&grid_), tmp(&grid_), g5mg5b(&grid_);
+                    gaussian_fill(SiteRNG(908), a);
+                    gaussian_fill(SiteRNG(909), b);
+                    dirac.m(a, ma);
+                    qcd::WilsonDirac<S>::apply_gamma5(b, tmp);
+                    Fermion mtmp(&grid_);
+                    dirac.m(tmp, mtmp);
+                    qcd::WilsonDirac<S>::apply_gamma5(mtmp, g5mg5b);
+                    const C lhs = innerProduct(a, g5mg5b);
+                    const C rhs = std::conj(innerProduct(b, ma));
+                    return bounded(std::abs(lhs - rhs) / std::abs(rhs), 1e-10);
+                  }});
+    cs.push_back({"dhop_translation_covariance", [this] {
+                    const int mu = 1;
+                    qcd::GaugeField<S> gs(&grid_);
+                    for (int nu = 0; nu < lattice::Nd; ++nu)
+                      gs.U[nu] = lattice::Cshift(gauge_.U[nu], mu, +1);
+                    const Fermion psis = lattice::Cshift(psi_, mu, +1);
+                    Fermion out(&grid_), outs(&grid_);
+                    const qcd::WilsonDirac<S> d0(gauge_, 0.0), d1(gs, 0.0);
+                    d0.dhop(psi_, out);
+                    d1.dhop(psis, outs);
+                    const Fermion expect = lattice::Cshift(out, mu, +1);
+                    return bounded(norm2(outs - expect) / norm2(expect), 1e-24);
+                  }});
+    cs.push_back({"mdagm_positive", [this] {
+                    const qcd::WilsonDirac<S> dirac(gauge_, 0.1);
+                    Fermion out(&grid_);
+                    dirac.mdag_m(psi_, out);
+                    const C ip = innerProduct(psi_, out);
+                    const bool ok = ip.real() > 0 && std::abs(ip.imag()) < 1e-8 * ip.real();
+                    return std::make_pair(ok, ip.real());
+                  }});
+
+    // --- solver checks (38-39) -----------------------------------------------
+    cs.push_back({"cg_converges", [this] {
+                    const qcd::WilsonDirac<S> dirac(gauge_, 0.3);
+                    Fermion x(&grid_);
+                    x.set_zero();
+                    const auto stats = solver::solve_wilson(dirac, psi_, x, 1e-7, 400);
+                    return std::make_pair(stats.converged,
+                                          static_cast<double>(stats.iterations));
+                  }});
+    cs.push_back({"cg_solution_verifies", [this] {
+                    const qcd::WilsonDirac<S> dirac(gauge_, 0.3);
+                    Fermion x(&grid_);
+                    x.set_zero();
+                    const auto stats = solver::solve_wilson(dirac, psi_, x, 1e-8, 500);
+                    return bounded(stats.true_residual, 1e-7);
+                  }});
+
+    // --- comms check (40) -------------------------------------------------------
+    cs.push_back({"halo_f16_compression_bounds", [this] {
+                    comms::SimCommunicator comm(2);
+                    std::size_t wire = 0;
+                    const auto packed = comms::pack_face(psi_, 3, 0);
+                    const auto rec = comms::exchange_face(comm, psi_, 3, 0,
+                                                          comms::Compression::kF16, 0, 1,
+                                                          &wire);
+                    if (wire * 4 != packed.size() * sizeof(double))
+                      return std::make_pair(false, 0.0);
+                    double max_rel = 0;
+                    for (std::size_t i = 0; i < packed.size(); ++i)
+                      if (packed[i] != 0.0)
+                        max_rel = std::max(max_rel, std::abs(rec[i] - packed[i]) /
+                                                        std::abs(packed[i]));
+                    return bounded(max_rel, 0x1.0p-10);
+                  }});
+
+    return cs;
+  }
+
+  lattice::GridCartesian grid_;
+  qcd::GaugeField<S> gauge_;
+  Fermion psi_;
+};
+
+template <class S>
+std::vector<CheckResult> run_battery() {
+  Battery<S> battery;
+  return battery.run();
+}
+
+}  // namespace
+
+VerificationReport run_verification(unsigned vl_bits, simd::Backend backend) {
+  SVELAT_ASSERT_MSG(vl_bits == 128 || vl_bits == 256 || vl_bits == 512,
+                    "framework ports exist for 128/256/512 bit (paper Sec. V-B)");
+  sve::VLGuard guard(vl_bits);
+  VerificationReport report;
+  report.vl_bits = vl_bits;
+  report.backend = backend;
+
+  using simd::Backend;
+  switch (backend) {
+    case Backend::kGeneric:
+      if (vl_bits == 128)
+        report.results = run_battery<simd::SimdComplex<double, simd::kVLB128, simd::Generic>>();
+      else if (vl_bits == 256)
+        report.results = run_battery<simd::SimdComplex<double, simd::kVLB256, simd::Generic>>();
+      else
+        report.results = run_battery<simd::SimdComplex<double, simd::kVLB512, simd::Generic>>();
+      break;
+    case Backend::kSveFcmla:
+      if (vl_bits == 128)
+        report.results =
+            run_battery<simd::SimdComplex<double, simd::kVLB128, simd::SveFcmla>>();
+      else if (vl_bits == 256)
+        report.results =
+            run_battery<simd::SimdComplex<double, simd::kVLB256, simd::SveFcmla>>();
+      else
+        report.results =
+            run_battery<simd::SimdComplex<double, simd::kVLB512, simd::SveFcmla>>();
+      break;
+    case Backend::kSveReal:
+      if (vl_bits == 128)
+        report.results = run_battery<simd::SimdComplex<double, simd::kVLB128, simd::SveReal>>();
+      else if (vl_bits == 256)
+        report.results = run_battery<simd::SimdComplex<double, simd::kVLB256, simd::SveReal>>();
+      else
+        report.results = run_battery<simd::SimdComplex<double, simd::kVLB512, simd::SveReal>>();
+      break;
+  }
+  return report;
+}
+
+std::vector<std::string> check_names() {
+  // Run the cheapest instantiation once and collect names.
+  static const std::vector<std::string> names = [] {
+    sve::VLGuard guard(128);
+    const auto results =
+        run_battery<simd::SimdComplex<double, simd::kVLB128, simd::Generic>>();
+    std::vector<std::string> out;
+    out.reserve(results.size());
+    for (const auto& r : results) out.push_back(r.name);
+    return out;
+  }();
+  return names;
+}
+
+std::string format_report(const VerificationReport& report, bool verbose) {
+  char line[160];
+  std::string out;
+  std::snprintf(line, sizeof(line), "VL %4u bit | backend %-10s | %2u/%2u checks pass\n",
+                report.vl_bits, simd::backend_name(report.backend), report.passed(),
+                report.total());
+  out += line;
+  if (verbose) {
+    for (const auto& r : report.results) {
+      std::snprintf(line, sizeof(line), "    %-32s %s   (%.3g)\n", r.name.c_str(),
+                    r.pass ? "PASS" : "FAIL", r.detail);
+      out += line;
+    }
+  }
+  return out;
+}
+
+}  // namespace svelat::core

@@ -1,0 +1,100 @@
+#include "lattice/cartesian.h"
+
+#include <cstdio>
+
+namespace svelat::lattice {
+
+std::string to_string(const Coordinate& c) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "[%d %d %d %d]", c[0], c[1], c[2], c[3]);
+  return buf;
+}
+
+GridCartesian::GridCartesian(const Coordinate& fdimensions, const Coordinate& simd_layout)
+    : fdims_(fdimensions), simd_(simd_layout) {
+  isites_ = 1;
+  osites_ = 1;
+  for (int mu = 0; mu < Nd; ++mu) {
+    SVELAT_ASSERT_MSG(simd_[mu] == 1 || simd_[mu] == 2,
+                      "simd_layout entries must be 1 or 2");
+    SVELAT_ASSERT_MSG(fdims_[mu] > 0 && fdims_[mu] % simd_[mu] == 0,
+                      "lattice extent must be divisible by the SIMD layout");
+    rdims_[mu] = fdims_[mu] / simd_[mu];
+    // With layout 2 the hop +1 and -1 from the block edge must land in the
+    // partner lane, which requires at least 2 sites per block to keep
+    // nearest neighbours out of the same vector (Fig. 1's "sufficiently
+    // large" sub-lattice).
+    SVELAT_ASSERT_MSG(simd_[mu] == 1 || rdims_[mu] >= 2,
+                      "virtual-node blocks must span at least 2 sites in decomposed "
+                      "dimensions");
+    isites_ *= static_cast<unsigned>(simd_[mu]);
+    osites_ *= rdims_[mu];
+  }
+  // Lane-lex strides (dim 0 fastest) for the permute distances.
+  unsigned stride = 1;
+  for (int mu = 0; mu < Nd; ++mu) {
+    perm_dist_[mu] = (simd_[mu] == 2) ? stride : 0;
+    stride *= static_cast<unsigned>(simd_[mu]);
+  }
+}
+
+Coordinate GridCartesian::default_simd_layout(unsigned nsimd) {
+  Coordinate layout{1, 1, 1, 1};
+  int mu = Nd - 1;
+  unsigned remaining = nsimd;
+  SVELAT_ASSERT_MSG(nsimd != 0 && (nsimd & (nsimd - 1)) == 0 && nsimd <= 16,
+                    "Nsimd must be a power of two <= 16 in 4 dimensions");
+  while (remaining > 1) {
+    layout[mu] *= 2;
+    remaining /= 2;
+    mu = (mu == 0) ? Nd - 1 : mu - 1;
+  }
+  return layout;
+}
+
+std::int64_t GridCartesian::outer_index(const Coordinate& global) const {
+  Coordinate outer;
+  for (int mu = 0; mu < Nd; ++mu) outer[mu] = global[mu] % rdims_[mu];
+  return lex_index(outer, rdims_);
+}
+
+unsigned GridCartesian::inner_index(const Coordinate& global) const {
+  Coordinate inner;
+  for (int mu = 0; mu < Nd; ++mu) inner[mu] = global[mu] / rdims_[mu];
+  Coordinate sdims = simd_;
+  return static_cast<unsigned>(lex_index(inner, sdims));
+}
+
+Coordinate GridCartesian::global_coor(std::int64_t osite, unsigned lane) const {
+  const Coordinate outer = lex_coor(osite, rdims_);
+  Coordinate sdims = simd_;
+  const Coordinate inner = lex_coor(static_cast<std::int64_t>(lane), sdims);
+  Coordinate global;
+  for (int mu = 0; mu < Nd; ++mu) global[mu] = outer[mu] + rdims_[mu] * inner[mu];
+  return global;
+}
+
+GridCartesian::Neighbour GridCartesian::neighbour(std::int64_t osite, int mu,
+                                                  int disp) const {
+  SVELAT_ASSERT_MSG(disp == 1 || disp == -1, "only nearest-neighbour hops");
+  Coordinate outer = lex_coor(osite, rdims_);
+  const int target = outer[mu] + disp;
+  Neighbour n;
+  if (target >= 0 && target < rdims_[mu]) {
+    // Stays inside the virtual-node block: same lanes, shifted outer site.
+    outer[mu] = target;
+    n.osite = lex_index(outer, rdims_);
+    n.permute = 0;
+    return n;
+  }
+  // Crosses the block boundary: outer coordinate wraps within the block and
+  // every lane reads its partner lane (one block over in dimension mu).
+  // With simd_layout[mu] == 1 the "partner" is the same lane (plain
+  // periodic wrap); with 2 it is the XOR partner.
+  outer[mu] = (target + rdims_[mu]) % rdims_[mu];
+  n.osite = lex_index(outer, rdims_);
+  n.permute = perm_dist_[mu];
+  return n;
+}
+
+}  // namespace svelat::lattice

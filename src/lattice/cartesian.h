@@ -1,0 +1,88 @@
+// GridCartesian: the virtual-node decomposition of paper Fig. 1.
+//
+// Within one thread, the (sub-)lattice is overdecomposed into Nsimd
+// "virtual nodes".  Each virtual node owns a contiguous block of
+// rdimensions[] = fdimensions[] / simd_layout[] sites, and SIMD lane l of
+// every vector register holds the data of virtual node l.  Keeping the
+// block large guarantees that neighbouring lattice sites land in different
+// *vector elements only when the stencil crosses a block boundary*, in
+// which case the neighbour's data is the same outer site of a different
+// lane: a pure lane permutation (no cross-vector shuffling).
+//
+// Restriction (sufficient for Nsimd <= 16 in 4 dimensions, i.e. all vector
+// lengths the paper enables): each simd_layout entry is 1 or 2, so the
+// boundary permutation is always a block-XOR exchange.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "lattice/coordinates.h"
+
+namespace svelat::lattice {
+
+class GridCartesian {
+ public:
+  /// Construct with an explicit SIMD layout (entries 1 or 2, product =
+  /// Nsimd of the intended SIMD type, fdims divisible by 2*layout).
+  GridCartesian(const Coordinate& fdimensions, const Coordinate& simd_layout);
+
+  /// Spread Nsimd factors of two over the last dimensions (Grid's
+  /// GridDefaultSimd): Nsimd=4 in 4d gives layout {1,1,2,2}.
+  static Coordinate default_simd_layout(unsigned nsimd);
+
+  const Coordinate& fdimensions() const { return fdims_; }
+  const Coordinate& rdimensions() const { return rdims_; }
+  const Coordinate& simd_layout() const { return simd_; }
+
+  /// Number of outer (vectorized) sites and SIMD lanes per site.
+  std::int64_t osites() const { return osites_; }
+  unsigned isites() const { return isites_; }
+  /// Total number of lattice sites V.
+  std::int64_t gsites() const { return osites_ * isites_; }
+
+  // --- coordinate mappings ---------------------------------------------------
+  /// Outer site index of a global coordinate.
+  std::int64_t outer_index(const Coordinate& global) const;
+  /// SIMD lane (inner index / virtual node) of a global coordinate.
+  unsigned inner_index(const Coordinate& global) const;
+  /// Reconstruct the global coordinate of (outer site, lane).
+  Coordinate global_coor(std::int64_t osite, unsigned lane) const;
+
+  /// Layout-independent site key (lexicographic in the full lattice):
+  /// used to seed per-site RNG draws identically for every layout.
+  std::int64_t global_index(const Coordinate& global) const {
+    return lex_index(global, fdims_);
+  }
+
+  // --- stencil geometry --------------------------------------------------------
+  /// Result of a +/-1 hop from outer site `osite` in dimension mu.
+  struct Neighbour {
+    std::int64_t osite;  ///< outer index of the neighbouring site
+    unsigned permute;    ///< 0: same lanes; else XOR block distance (in lanes)
+  };
+
+  /// Neighbour of `osite` displaced by +/-1 in dimension mu.  All lanes
+  /// move coherently: if the hop crosses the virtual-node block boundary,
+  /// every lane needs the partner lane's data at the wrapped outer site --
+  /// `permute` is the lane-XOR distance (a power of two), else 0.
+  Neighbour neighbour(std::int64_t osite, int mu, int disp) const;
+
+  /// Lane-XOR distance for crossing the block boundary in dimension mu
+  /// (0 when simd_layout[mu] == 1: no lane exchange needed).
+  unsigned permute_distance(int mu) const { return perm_dist_[mu]; }
+
+  friend bool operator==(const GridCartesian& a, const GridCartesian& b) {
+    return a.fdims_ == b.fdims_ && a.simd_ == b.simd_;
+  }
+
+ private:
+  Coordinate fdims_;
+  Coordinate rdims_;
+  Coordinate simd_;
+  std::int64_t osites_;
+  unsigned isites_;
+  unsigned perm_dist_[Nd];
+};
+
+}  // namespace svelat::lattice

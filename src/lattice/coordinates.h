@@ -1,0 +1,61 @@
+// Coordinates on the 4-dimensional space-time lattice.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "support/assert.h"
+
+namespace svelat::lattice {
+
+/// Number of space-time dimensions (paper Sec. II-A: mu = 1..4).
+inline constexpr int Nd = 4;
+
+using Coordinate = std::array<int, Nd>;
+
+/// Lexicographic index with dimension 0 fastest.
+inline std::int64_t lex_index(const Coordinate& coor, const Coordinate& dims) {
+  std::int64_t idx = 0;
+  for (int mu = Nd - 1; mu >= 0; --mu) {
+    SVELAT_DEBUG_ASSERT(coor[mu] >= 0 && coor[mu] < dims[mu]);
+    idx = idx * dims[mu] + coor[mu];
+  }
+  return idx;
+}
+
+/// Inverse of lex_index.
+inline Coordinate lex_coor(std::int64_t idx, const Coordinate& dims) {
+  Coordinate coor;
+  for (int mu = 0; mu < Nd; ++mu) {
+    coor[mu] = static_cast<int>(idx % dims[mu]);
+    idx /= dims[mu];
+  }
+  return coor;
+}
+
+inline std::int64_t volume(const Coordinate& dims) {
+  std::int64_t v = 1;
+  for (int mu = 0; mu < Nd; ++mu) v *= dims[mu];
+  return v;
+}
+
+/// Element-wise periodic wrap of coor into [0, dims).
+inline Coordinate wrap(Coordinate coor, const Coordinate& dims) {
+  for (int mu = 0; mu < Nd; ++mu) {
+    coor[mu] %= dims[mu];
+    if (coor[mu] < 0) coor[mu] += dims[mu];
+  }
+  return coor;
+}
+
+/// coor with coor[mu] displaced by disp (periodically wrapped).
+inline Coordinate displace(Coordinate coor, int mu, int disp, const Coordinate& dims) {
+  coor[mu] += disp;
+  return wrap(coor, dims);
+}
+
+std::string to_string(const Coordinate& c);
+
+}  // namespace svelat::lattice

@@ -1,0 +1,65 @@
+// Circular shift of a lattice field by one site (the communication-free
+// analogue of Grid's Cshift for the single-process case).
+//
+//   Cshift(f, mu, +1)(x) == f(x + mu^)
+//
+// Away from virtual-node block boundaries this is a copy from a different
+// outer site; at the boundary the source vector additionally undergoes the
+// Fig. 1 lane permutation.  The permutation is applied per SIMD scalar via
+// permute_blocks (EXT/TBL on the SVE backends).
+#pragma once
+
+#include "lattice/lattice.h"
+#include "lattice/stencil.h"
+
+namespace svelat::lattice {
+
+namespace detail {
+
+/// Apply the lane permutation to every SIMD scalar of a site object.
+template <typename T, std::size_t VLB, typename P>
+inline void permute_site(simd::SimdComplex<T, VLB, P>& v, unsigned d) {
+  v = permute_blocks(v, d);
+}
+template <class T>
+inline void permute_site(tensor::iScalar<T>& t, unsigned d) {
+  permute_site(t._internal, d);
+}
+template <class T, int N>
+inline void permute_site(tensor::iVector<T, N>& t, unsigned d) {
+  for (int i = 0; i < N; ++i) permute_site(t._internal[i], d);
+}
+template <class T, int N>
+inline void permute_site(tensor::iMatrix<T, N>& t, unsigned d) {
+  for (int i = 0; i < N; ++i)
+    for (int j = 0; j < N; ++j) permute_site(t._internal[i][j], d);
+}
+
+}  // namespace detail
+
+/// Fetch the neighbour site object in direction dir (stencil convention:
+/// dir < Nd is +mu, dir >= Nd is -mu), permuting lanes when the hop
+/// crosses the virtual-node boundary.
+template <class vobj>
+inline vobj fetch_neighbour(const Lattice<vobj>& f, const Stencil& st,
+                            std::int64_t osite, int dir) {
+  const auto& e = st.entry(osite, dir);
+  vobj v = f[e.osite];
+  // e.permute counts virtual nodes (complex lanes), the unit
+  // permute_blocks expects.
+  if (e.permute != 0) detail::permute_site(v, e.permute);
+  return v;
+}
+
+/// Cshift by +/-1 in dimension mu: r(x) = f(x + disp*mu^).
+template <class vobj>
+Lattice<vobj> Cshift(const Lattice<vobj>& f, int mu, int disp) {
+  SVELAT_ASSERT_MSG(disp == 1 || disp == -1, "Cshift supports +/-1 displacements");
+  const Stencil st(f.grid());
+  Lattice<vobj> r(f.grid());
+  const int dir = disp == 1 ? mu : Nd + mu;
+  for (std::int64_t o = 0; o < f.osites(); ++o) r[o] = fetch_neighbour(f, st, o, dir);
+  return r;
+}
+
+}  // namespace svelat::lattice

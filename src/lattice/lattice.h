@@ -1,0 +1,130 @@
+// Lattice<vobj>: a field of vectorized site objects over a GridCartesian.
+//
+// Storage is one vobj per *outer* site; SIMD lane l of each vobj belongs to
+// virtual node l (paper Fig. 1).  Site-wise arithmetic maps directly onto
+// the SIMD abstraction layer; global reductions reduce over lanes at the
+// end.  peek/poke address *global* coordinates, hiding the layout.
+#pragma once
+
+#include <complex>
+
+#include "lattice/cartesian.h"
+#include "support/aligned.h"
+#include "tensor/lane_ops.h"
+#include "tensor/tensor.h"
+
+namespace svelat::lattice {
+
+template <class vobj>
+class Lattice {
+ public:
+  using vector_object = vobj;
+  using scalar_object = tensor::scalar_object_t<vobj>;
+  using simd_type = tensor::scalar_element_t<vobj>;
+
+  explicit Lattice(const GridCartesian* grid)
+      : grid_(grid), data_(static_cast<std::size_t>(grid->osites())) {
+    SVELAT_ASSERT_MSG(grid->isites() == simd_type::Nsimd(),
+                      "grid SIMD layout does not match the vector object's lane count");
+  }
+
+  const GridCartesian* grid() const { return grid_; }
+  std::int64_t osites() const { return grid_->osites(); }
+
+  vobj& operator[](std::int64_t osite) { return data_[static_cast<std::size_t>(osite)]; }
+  const vobj& operator[](std::int64_t osite) const {
+    return data_[static_cast<std::size_t>(osite)];
+  }
+
+  /// Scalar site object at a global coordinate.
+  scalar_object peek(const Coordinate& global) const {
+    const std::int64_t o = grid_->outer_index(global);
+    const unsigned l = grid_->inner_index(global);
+    return tensor::peek_lane(data_[static_cast<std::size_t>(o)], l);
+  }
+
+  /// Overwrite the site at a global coordinate.
+  void poke(const Coordinate& global, const scalar_object& s) {
+    const std::int64_t o = grid_->outer_index(global);
+    const unsigned l = grid_->inner_index(global);
+    tensor::poke_lane(data_[static_cast<std::size_t>(o)], l, s);
+  }
+
+  void set_zero() {
+    for (auto& site : data_) tensor::zeroit(site);
+  }
+
+  // --- site-wise arithmetic ---------------------------------------------------
+  friend Lattice operator+(const Lattice& a, const Lattice& b) {
+    a.check_same(b);
+    Lattice r(a.grid_);
+    for (std::int64_t o = 0; o < a.osites(); ++o) r[o] = a[o] + b[o];
+    return r;
+  }
+  friend Lattice operator-(const Lattice& a, const Lattice& b) {
+    a.check_same(b);
+    Lattice r(a.grid_);
+    for (std::int64_t o = 0; o < a.osites(); ++o) r[o] = a[o] - b[o];
+    return r;
+  }
+  friend Lattice operator-(const Lattice& a) {
+    Lattice r(a.grid_);
+    for (std::int64_t o = 0; o < a.osites(); ++o) r[o] = -a[o];
+    return r;
+  }
+  Lattice& operator+=(const Lattice& o) {
+    check_same(o);
+    for (std::int64_t i = 0; i < osites(); ++i) data_[static_cast<std::size_t>(i)] += o[i];
+    return *this;
+  }
+  Lattice& operator-=(const Lattice& o) {
+    check_same(o);
+    for (std::int64_t i = 0; i < osites(); ++i) data_[static_cast<std::size_t>(i)] -= o[i];
+    return *this;
+  }
+
+  /// Scalar coefficient (complex or real, broadcast over sites and lanes).
+  template <typename S>
+  friend Lattice operator*(const S& s, const Lattice& a) {
+    Lattice r(a.grid_);
+    const simd_type coeff(s);  // splat once
+    for (std::int64_t o = 0; o < a.osites(); ++o) r[o] = coeff * a[o];
+    return r;
+  }
+
+  void check_same(const Lattice& o) const {
+    SVELAT_ASSERT_MSG(*grid_ == *o.grid_, "lattices live on different grids");
+  }
+
+ private:
+  const GridCartesian* grid_;
+  AlignedVector<vobj> data_;
+};
+
+/// axpy: r = a*x + y  (a is a scalar coefficient) -- the CG workhorse.
+template <class vobj, typename S>
+void axpy(Lattice<vobj>& r, const S& a, const Lattice<vobj>& x, const Lattice<vobj>& y) {
+  x.check_same(y);
+  using simd_type = typename Lattice<vobj>::simd_type;
+  const simd_type coeff{typename simd_type::scalar_type(a)};
+  for (std::int64_t o = 0; o < x.osites(); ++o) r[o] = coeff * x[o] + y[o];
+}
+
+/// Global inner product: sum_x conj(a_x) . b_x, reduced over lanes.
+template <class vobj>
+auto innerProduct(const Lattice<vobj>& a, const Lattice<vobj>& b) {
+  a.check_same(b);
+  using simd_type = typename Lattice<vobj>::simd_type;
+  simd_type acc = simd_type::zero();
+  for (std::int64_t o = 0; o < a.osites(); ++o)
+    acc += tensor::innerProduct(a[o], b[o]);
+  return reduce(acc);
+}
+
+/// Global squared norm.
+template <class vobj>
+double norm2(const Lattice<vobj>& a) {
+  return std::real(innerProduct(a, a));
+}
+
+}  // namespace svelat::lattice

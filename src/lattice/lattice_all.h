@@ -1,0 +1,9 @@
+// Umbrella header for the lattice layer.
+#pragma once
+
+#include "lattice/cartesian.h"    // IWYU pragma: export
+#include "lattice/coordinates.h"  // IWYU pragma: export
+#include "lattice/cshift.h"       // IWYU pragma: export
+#include "lattice/fill.h"         // IWYU pragma: export
+#include "lattice/lattice.h"      // IWYU pragma: export
+#include "lattice/stencil.h"      // IWYU pragma: export

@@ -1,0 +1,33 @@
+// Site-local (pointwise) field operations beyond the linear-space basics
+// in lattice.h: products of matrix fields, traces, adjoints.  These are
+// the building blocks of gauge observables (plaquette, Wilson loops) and
+// of the SU(3) throughput benchmarks.
+#pragma once
+
+#include "lattice/lattice.h"
+
+namespace svelat::lattice {
+
+/// r(x) = a(x) * b(x) for matrix-valued fields.
+template <class vobj>
+void local_mult(Lattice<vobj>& r, const Lattice<vobj>& a, const Lattice<vobj>& b) {
+  a.check_same(b);
+  for (std::int64_t o = 0; o < a.osites(); ++o) r[o] = a[o] * b[o];
+}
+
+/// r(x) = adj(a(x)).
+template <class vobj>
+void local_adj(Lattice<vobj>& r, const Lattice<vobj>& a) {
+  for (std::int64_t o = 0; o < a.osites(); ++o) r[o] = tensor::adj(a[o]);
+}
+
+/// Global sum of the per-site trace of a matrix field.
+template <class vobj>
+auto local_trace_sum(const Lattice<vobj>& a) {
+  using simd_type = typename Lattice<vobj>::simd_type;
+  simd_type acc = simd_type::zero();
+  for (std::int64_t o = 0; o < a.osites(); ++o) acc += tensor::trace(a[o]);
+  return reduce(acc);
+}
+
+}  // namespace svelat::lattice

@@ -1,0 +1,102 @@
+// Bulk memory operations on lattice fields: copy, streaming (non-temporal)
+// copy, and fill, implemented with the SVE load/store family.
+//
+// Paper Sec. II-C lists "load, store, memory prefetch, streaming memory
+// access" among the machine-specific operations of Grid's abstraction
+// layer; Grid's Benchmark_memory measures exactly these paths.  On the
+// simulator the non-temporal variants are functionally identical but use
+// the LDNT1/STNT1 opcodes -- the instruction mix is what the port has to
+// get right; cache behaviour belongs to real silicon.
+#pragma once
+
+#include <cstring>
+
+#include "lattice/lattice.h"
+#include "sve/sve.h"
+
+namespace svelat::lattice {
+
+namespace detail {
+
+template <class vobj>
+inline double* raw(Lattice<vobj>& f) {
+  return reinterpret_cast<double*>(&f[0]);
+}
+template <class vobj>
+inline const double* raw(const Lattice<vobj>& f) {
+  return reinterpret_cast<const double*>(&f[0]);
+}
+template <class vobj>
+inline std::size_t raw_doubles(const Lattice<vobj>& f) {
+  return static_cast<std::size_t>(f.osites()) * sizeof(vobj) / sizeof(double);
+}
+
+}  // namespace detail
+
+/// dst = src through regular SVE loads/stores (VLA loop).  Only for
+/// double-precision fields (raw view in 64-bit lanes).
+template <class vobj>
+void copy_field(Lattice<vobj>& dst, const Lattice<vobj>& src) {
+  static_assert(std::is_same_v<typename Lattice<vobj>::simd_type::real_type, double>,
+                "raw copy path is specified for double-precision fields");
+  dst.check_same(src);
+  const std::size_t n = detail::raw_doubles(src);
+  const double* in = detail::raw(src);
+  double* out = detail::raw(dst);
+  using namespace sve;
+  for (std::size_t i = 0; i < n; i += svcntd()) {
+    const svbool_t pg = svwhilelt_b64(i, n);
+    svst1(pg, &out[i], svld1(pg, &in[i]));
+  }
+}
+
+/// dst = src through non-temporal (streaming) loads/stores: the write-once
+/// path that bypasses caches on hardware (LDNT1/STNT1).
+template <class vobj>
+void stream_copy_field(Lattice<vobj>& dst, const Lattice<vobj>& src) {
+  static_assert(std::is_same_v<typename Lattice<vobj>::simd_type::real_type, double>,
+                "raw copy path is specified for double-precision fields");
+  dst.check_same(src);
+  const std::size_t n = detail::raw_doubles(src);
+  const double* in = detail::raw(src);
+  double* out = detail::raw(dst);
+  using namespace sve;
+  for (std::size_t i = 0; i < n; i += svcntd()) {
+    const svbool_t pg = svwhilelt_b64(i, n);
+    svstnt1(pg, &out[i], svldnt1(pg, &in[i]));
+  }
+}
+
+/// Copy with software prefetch two vectors ahead (the "memory prefetch"
+/// operation of the Sec. II-C list).
+template <class vobj>
+void prefetch_copy_field(Lattice<vobj>& dst, const Lattice<vobj>& src) {
+  static_assert(std::is_same_v<typename Lattice<vobj>::simd_type::real_type, double>,
+                "raw copy path is specified for double-precision fields");
+  dst.check_same(src);
+  const std::size_t n = detail::raw_doubles(src);
+  const double* in = detail::raw(src);
+  double* out = detail::raw(dst);
+  using namespace sve;
+  const std::size_t step = svcntd();
+  for (std::size_t i = 0; i < n; i += step) {
+    const svbool_t pg = svwhilelt_b64(i, n);
+    if (i + 2 * step < n) svprfd(pg, &in[i + 2 * step]);
+    svst1(pg, &out[i], svld1(pg, &in[i]));
+  }
+}
+
+/// Set every real lane of the field to a constant via DUP + ST1.
+template <class vobj>
+void splat_field(Lattice<vobj>& dst, double value) {
+  static_assert(std::is_same_v<typename Lattice<vobj>::simd_type::real_type, double>);
+  const std::size_t n = detail::raw_doubles(dst);
+  double* out = detail::raw(dst);
+  using namespace sve;
+  const svfloat64_t v = svdup_f64(value);
+  for (std::size_t i = 0; i < n; i += svcntd()) {
+    svst1(svwhilelt_b64(i, n), &out[i], v);
+  }
+}
+
+}  // namespace svelat::lattice

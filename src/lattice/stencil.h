@@ -1,0 +1,56 @@
+// Precomputed nearest-neighbour stencil tables.
+//
+// The hopping term (paper Eq. (1)) reads 8 neighbours per site.  For each
+// (outer site, direction) the table stores which outer site to read and
+// whether the virtual-node boundary was crossed (in which case the vector
+// must be lane-permuted, Fig. 1).  Building the table once amortizes the
+// coordinate arithmetic over all Dhop applications -- the same role
+// Grid's CartesianStencil plays.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "lattice/cartesian.h"
+
+namespace svelat::lattice {
+
+class Stencil {
+ public:
+  struct Entry {
+    std::int64_t osite;  ///< neighbouring outer site
+    unsigned permute;    ///< lane-XOR distance, 0 = no permutation
+  };
+
+  /// Directions are indexed 0..2*Nd-1: dir = mu for +mu, Nd + mu for -mu.
+  static constexpr int num_dirs = 2 * Nd;
+
+  explicit Stencil(const GridCartesian* grid) : grid_(grid) {
+    table_.resize(static_cast<std::size_t>(grid->osites()) * num_dirs);
+    for (std::int64_t o = 0; o < grid->osites(); ++o) {
+      for (int mu = 0; mu < Nd; ++mu) {
+        const auto fwd = grid->neighbour(o, mu, +1);
+        const auto bwd = grid->neighbour(o, mu, -1);
+        table_[index(o, mu)] = {fwd.osite, fwd.permute};
+        table_[index(o, Nd + mu)] = {bwd.osite, bwd.permute};
+      }
+    }
+  }
+
+  /// Table entry for a hop from `osite` in direction `dir` (see num_dirs).
+  const Entry& entry(std::int64_t osite, int dir) const {
+    return table_[index(osite, dir)];
+  }
+
+  const GridCartesian* grid() const { return grid_; }
+
+ private:
+  static std::size_t index(std::int64_t osite, int dir) {
+    return static_cast<std::size_t>(osite) * num_dirs + static_cast<std::size_t>(dir);
+  }
+
+  const GridCartesian* grid_;
+  std::vector<Entry> table_;
+};
+
+}  // namespace svelat::lattice

@@ -1,0 +1,53 @@
+#include "qcd/gamma.h"
+
+namespace svelat::qcd {
+
+namespace {
+using C = std::complex<double>;
+using Mat4 = tensor::iMatrix<C, Ns>;
+
+constexpr C I{0.0, 1.0};
+
+Mat4 from_rows(const C (&rows)[4][4]) {
+  Mat4 m;
+  for (int i = 0; i < Ns; ++i)
+    for (int j = 0; j < Ns; ++j) m(i, j) = rows[i][j];
+  return m;
+}
+}  // namespace
+
+tensor::iMatrix<std::complex<double>, Ns> gamma_matrix(int mu) {
+  switch (mu) {
+    case 0: {  // gamma_x
+      const C rows[4][4] = {{0, 0, 0, I}, {0, 0, I, 0}, {0, -I, 0, 0}, {-I, 0, 0, 0}};
+      return from_rows(rows);
+    }
+    case 1: {  // gamma_y
+      const C rows[4][4] = {{0, 0, 0, -1}, {0, 0, 1, 0}, {0, 1, 0, 0}, {-1, 0, 0, 0}};
+      return from_rows(rows);
+    }
+    case 2: {  // gamma_z
+      const C rows[4][4] = {{0, 0, I, 0}, {0, 0, 0, -I}, {-I, 0, 0, 0}, {0, I, 0, 0}};
+      return from_rows(rows);
+    }
+    case 3: {  // gamma_t
+      const C rows[4][4] = {{0, 0, 1, 0}, {0, 0, 0, 1}, {1, 0, 0, 0}, {0, 1, 0, 0}};
+      return from_rows(rows);
+    }
+    case 4: {  // gamma_5 = gamma_x gamma_y gamma_z gamma_t
+      const C rows[4][4] = {{1, 0, 0, 0}, {0, 1, 0, 0}, {0, 0, -1, 0}, {0, 0, 0, -1}};
+      return from_rows(rows);
+    }
+    default: SVELAT_ASSERT_MSG(false, "gamma index must be 0..4");
+  }
+  return Mat4{};
+}
+
+tensor::iMatrix<std::complex<double>, Ns> one_plus_gamma(int mu, int sign) {
+  Mat4 m = gamma_matrix(mu);
+  if (sign < 0) m = -m;
+  for (int i = 0; i < Ns; ++i) m(i, i) += C(1.0, 0.0);
+  return m;
+}
+
+}  // namespace svelat::qcd

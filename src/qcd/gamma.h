@@ -1,0 +1,194 @@
+// Dirac gamma matrices and spin projection.
+//
+// Basis: DeGrand-Rossi (chiral), the basis QDP/Chroma and Grid use.  The
+// hopping term (paper Eq. (1)) applies (1 +/- gamma_mu) to the neighbour
+// spinors; these projectors have rank two, so the product collapses to a
+// half spinor of two colour vectors -- halving the SU(3) multiplications
+// (the classic Wilson "spin projection trick").  The explicit 4x4 matrices
+// are exposed for reference implementations and tests.
+#pragma once
+
+#include <complex>
+
+#include "qcd/types.h"
+#include "support/assert.h"
+#include "tensor/tensor.h"
+
+namespace svelat::qcd {
+
+/// gamma_mu (mu = 0..3) as an explicit 4x4 complex matrix; mu = 4 yields
+/// gamma_5 = gamma_0 gamma_1 gamma_2 gamma_3.
+tensor::iMatrix<std::complex<double>, Ns> gamma_matrix(int mu);
+
+/// (1 + sign*gamma_mu) as an explicit 4x4 matrix.
+tensor::iMatrix<std::complex<double>, Ns> one_plus_gamma(int mu, int sign);
+
+// ---------------------------------------------------------------------------
+// Spin projection: h = P^{sign}_mu psi collapses 4 spins to 2.
+// Using the DeGrand-Rossi matrices:
+//   mu=0 (x): h0 = p0 + s*i p3   h1 = p1 + s*i p2
+//   mu=1 (y): h0 = p0 - s*p3     h1 = p1 + s*p2
+//   mu=2 (z): h0 = p0 + s*i p2   h1 = p1 - s*i p3
+//   mu=3 (t): h0 = p0 + s*p2     h1 = p1 + s*p3
+// ---------------------------------------------------------------------------
+template <class S>
+inline HalfSpinColourVector<S> spin_project(int mu, int sign,
+                                            const SpinColourVector<S>& p) {
+  SVELAT_DEBUG_ASSERT(sign == 1 || sign == -1);
+  HalfSpinColourVector<S> h;
+  const bool plus = sign > 0;
+  switch (mu) {
+    case 0:
+      h(0) = plus ? p(0) + timesI(p(3)) : p(0) - timesI(p(3));
+      h(1) = plus ? p(1) + timesI(p(2)) : p(1) - timesI(p(2));
+      break;
+    case 1:
+      h(0) = plus ? p(0) - p(3) : p(0) + p(3);
+      h(1) = plus ? p(1) + p(2) : p(1) - p(2);
+      break;
+    case 2:
+      h(0) = plus ? p(0) + timesI(p(2)) : p(0) - timesI(p(2));
+      h(1) = plus ? p(1) - timesI(p(3)) : p(1) + timesI(p(3));
+      break;
+    case 3:
+      h(0) = plus ? p(0) + p(2) : p(0) - p(2);
+      h(1) = plus ? p(1) + p(3) : p(1) - p(3);
+      break;
+    default: SVELAT_ASSERT_MSG(false, "mu must be 0..3");
+  }
+  return h;
+}
+
+// ---------------------------------------------------------------------------
+// Spin reconstruction: expand the (colour-rotated) half spinor back to four
+// spins, r = R^{sign}_mu h, such that R P == (1 + sign*gamma_mu):
+//   mu=0: r2 = -s*i h1   r3 = -s*i h0
+//   mu=1: r2 =  s*h1     r3 = -s*h0
+//   mu=2: r2 = -s*i h0   r3 =  s*i h1
+//   mu=3: r2 =  s*h0     r3 =  s*h1
+// with r0 = h0, r1 = h1 always.
+// ---------------------------------------------------------------------------
+template <class S>
+inline SpinColourVector<S> spin_reconstruct(int mu, int sign,
+                                            const HalfSpinColourVector<S>& h) {
+  SpinColourVector<S> r;
+  r(0) = h(0);
+  r(1) = h(1);
+  const bool plus = sign > 0;
+  switch (mu) {
+    case 0:
+      r(2) = plus ? timesMinusI(h(1)) : timesI(h(1));
+      r(3) = plus ? timesMinusI(h(0)) : timesI(h(0));
+      break;
+    case 1:
+      r(2) = plus ? h(1) : -h(1);
+      r(3) = plus ? -h(0) : h(0);
+      break;
+    case 2:
+      r(2) = plus ? timesMinusI(h(0)) : timesI(h(0));
+      r(3) = plus ? timesI(h(1)) : timesMinusI(h(1));
+      break;
+    case 3:
+      r(2) = plus ? h(0) : -h(0);
+      r(3) = plus ? h(1) : -h(1);
+      break;
+    default: SVELAT_ASSERT_MSG(false, "mu must be 0..3");
+  }
+  return r;
+}
+
+/// Accumulating reconstruction: out += R^{sign}_mu h (saves the temporary in
+/// the Dhop inner loop).
+template <class S>
+inline void spin_reconstruct_accum(int mu, int sign, const HalfSpinColourVector<S>& h,
+                                   SpinColourVector<S>& out) {
+  out(0) += h(0);
+  out(1) += h(1);
+  const bool plus = sign > 0;
+  switch (mu) {
+    case 0:
+      out(2) += plus ? timesMinusI(h(1)) : timesI(h(1));
+      out(3) += plus ? timesMinusI(h(0)) : timesI(h(0));
+      break;
+    case 1:
+      if (plus) {
+        out(2) += h(1);
+        out(3) -= h(0);
+      } else {
+        out(2) -= h(1);
+        out(3) += h(0);
+      }
+      break;
+    case 2:
+      out(2) += plus ? timesMinusI(h(0)) : timesI(h(0));
+      out(3) += plus ? timesI(h(1)) : timesMinusI(h(1));
+      break;
+    case 3:
+      if (plus) {
+        out(2) += h(0);
+        out(3) += h(1);
+      } else {
+        out(2) -= h(0);
+        out(3) -= h(1);
+      }
+      break;
+    default: SVELAT_ASSERT_MSG(false, "mu must be 0..3");
+  }
+}
+
+/// gamma_5 multiplication: in the DeGrand-Rossi basis gamma_5 =
+/// diag(1, 1, -1, -1).
+template <class S>
+inline SpinColourVector<S> gamma5(const SpinColourVector<S>& p) {
+  SpinColourVector<S> r;
+  r(0) = p(0);
+  r(1) = p(1);
+  r(2) = -p(2);
+  r(3) = -p(3);
+  return r;
+}
+
+/// gamma_mu multiplication (mu = 0..3; mu = 4 is gamma_5), using the
+/// explicit sparse structure of the DeGrand-Rossi matrices -- the
+/// building block for meson contractions and operator tests.
+template <class S>
+inline SpinColourVector<S> mult_gamma(int mu, const SpinColourVector<S>& p) {
+  SpinColourVector<S> r;
+  switch (mu) {
+    case 0:  // (i p3, i p2, -i p1, -i p0)
+      r(0) = timesI(p(3));
+      r(1) = timesI(p(2));
+      r(2) = timesMinusI(p(1));
+      r(3) = timesMinusI(p(0));
+      break;
+    case 1:  // (-p3, p2, p1, -p0)
+      r(0) = -p(3);
+      r(1) = p(2);
+      r(2) = p(1);
+      r(3) = -p(0);
+      break;
+    case 2:  // (i p2, -i p3, -i p0, i p1)
+      r(0) = timesI(p(2));
+      r(1) = timesMinusI(p(3));
+      r(2) = timesMinusI(p(0));
+      r(3) = timesI(p(1));
+      break;
+    case 3:  // (p2, p3, p0, p1)
+      r(0) = p(2);
+      r(1) = p(3);
+      r(2) = p(0);
+      r(3) = p(1);
+      break;
+    case 4: return gamma5(p);
+    default: SVELAT_ASSERT_MSG(false, "gamma index must be 0..4");
+  }
+  return r;
+}
+
+/// Field-level gamma multiplication.
+template <class S>
+inline void mult_gamma(int mu, const LatticeFermion<S>& in, LatticeFermion<S>& out) {
+  for (std::int64_t o = 0; o < in.osites(); ++o) out[o] = mult_gamma(mu, in[o]);
+}
+
+}  // namespace svelat::qcd

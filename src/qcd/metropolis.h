@@ -1,0 +1,149 @@
+// Quenched gauge-field generation: Metropolis updates of the Wilson
+// plaquette action
+//
+//     S[U] = beta * sum_{x, mu<nu} ( 1 - Re tr P_{mu nu}(x) / Nc ).
+//
+// Supplies non-trivial (thermalized) gauge configurations so solver and
+// observable tests run on physics-like backgrounds instead of pure
+// strong-coupling randomness.  Updates are link-local with on-the-fly
+// staples; proposals are symmetrized small SU(3) rotations; all
+// randomness is keyed by (sweep, site, link, hit), so a Markov chain is
+// exactly reproducible for any SIMD layout (the Sec. V-D property again).
+#pragma once
+
+#include <cmath>
+
+#include "qcd/su3.h"
+#include "qcd/types.h"
+
+namespace svelat::qcd {
+
+/// Sum of the six staples attached to link (x, mu), computed from scalar
+/// peeks of the current field (exact sequential Metropolis).
+template <class S>
+ScalarColourMatrix staple_sum(const GaugeField<S>& g, const lattice::Coordinate& x,
+                              int mu) {
+  using namespace lattice;
+  const Coordinate dims = g.grid()->fdimensions();
+  auto peek = [&](int nu, const Coordinate& c) {
+    const auto s = g.U[nu].peek(c);
+    ScalarColourMatrix m;
+    for (int i = 0; i < Nc; ++i)
+      for (int j = 0; j < Nc; ++j)
+        m(i, j) = std::complex<double>(s(i, j).real(), s(i, j).imag());
+    return m;
+  };
+
+  ScalarColourMatrix staple = tensor::Zero<ScalarColourMatrix>();
+  const Coordinate xpmu = displace(x, mu, +1, dims);
+  for (int nu = 0; nu < Nd; ++nu) {
+    if (nu == mu) continue;
+    // Forward staple: U_nu(x+mu) U_mu(x+nu)^dag U_nu(x)^dag.
+    {
+      const Coordinate xpnu = displace(x, nu, +1, dims);
+      const auto a = peek(nu, xpmu);
+      const auto b = peek(mu, xpnu);
+      const auto c = peek(nu, x);
+      staple += a * tensor::adj(b) * tensor::adj(c);
+    }
+    // Backward staple: U_nu(x+mu-nu)^dag U_mu(x-nu)^dag U_nu(x-nu).
+    {
+      const Coordinate xmnu = displace(x, nu, -1, dims);
+      const Coordinate xpmu_mnu = displace(xpmu, nu, -1, dims);
+      const auto a = peek(nu, xpmu_mnu);
+      const auto b = peek(mu, xmnu);
+      const auto c = peek(nu, xmnu);
+      staple += tensor::adj(a) * tensor::adj(b) * c;
+    }
+  }
+  return staple;
+}
+
+struct MetropolisParams {
+  double beta = 5.7;     ///< gauge coupling
+  double epsilon = 0.3;  ///< proposal step size
+  int hits_per_link = 4; ///< Metropolis hits per link per sweep
+  std::uint64_t seed = 1;
+};
+
+struct SweepStats {
+  double acceptance = 0.0;  ///< accepted / proposed
+};
+
+namespace detail {
+
+/// Small symmetrized SU(3) rotation: project(1 + eps*G), or its adjoint.
+inline ScalarColourMatrix small_su3(const SiteRNG& rng, std::uint64_t key,
+                                    std::uint64_t slot, double eps) {
+  ScalarColourMatrix m = tensor::Zero<ScalarColourMatrix>();
+  std::uint64_t s = slot;
+  for (int i = 0; i < Nc; ++i) {
+    for (int j = 0; j < Nc; ++j) {
+      const double re = (i == j ? 1.0 : 0.0) + eps * rng.gaussian(key, s);
+      const double im = eps * rng.gaussian(key, s + 1);
+      m(i, j) = {re, im};
+      s += 2;
+    }
+  }
+  ScalarColourMatrix r = project_su3(m);
+  // Symmetrize the proposal: use R or R^dag with probability 1/2.
+  if (rng.uniform(key, s) < 0.5) r = tensor::adj(r);
+  return r;
+}
+
+}  // namespace detail
+
+/// One full Metropolis sweep over all links.  Returns the acceptance rate.
+template <class S>
+SweepStats metropolis_sweep(GaugeField<S>& g, const MetropolisParams& params,
+                            int sweep_number) {
+  using namespace lattice;
+  const GridCartesian* grid = g.grid();
+  const Coordinate dims = grid->fdimensions();
+  const SiteRNG rng(params.seed + 0x9e3779b97f4a7c15ull * static_cast<std::uint64_t>(sweep_number));
+
+  long long proposed = 0, accepted = 0;
+  for (std::int64_t site = 0; site < grid->gsites(); ++site) {
+    const Coordinate x = lex_coor(site, dims);
+    for (int mu = 0; mu < Nd; ++mu) {
+      const ScalarColourMatrix staple = staple_sum(g, x, mu);
+      // Current link as a scalar matrix.
+      auto s_link = g.U[mu].peek(x);
+      ScalarColourMatrix u;
+      for (int i = 0; i < Nc; ++i)
+        for (int j = 0; j < Nc; ++j)
+          u(i, j) = std::complex<double>(s_link(i, j).real(), s_link(i, j).imag());
+
+      const std::uint64_t key =
+          static_cast<std::uint64_t>(site) * 4ull + static_cast<std::uint64_t>(mu);
+      for (int hit = 0; hit < params.hits_per_link; ++hit) {
+        const std::uint64_t slot = 64ull * static_cast<std::uint64_t>(hit);
+        const ScalarColourMatrix r = detail::small_su3(rng, key, slot, params.epsilon);
+        const ScalarColourMatrix u_new = r * u;
+        // dS = -(beta/Nc) Re tr[(U' - U) staple].
+        const auto delta = (u_new - u) * staple;
+        const double ds = -(params.beta / Nc) * tensor::trace(delta).real();
+        ++proposed;
+        const double accept_draw = rng.uniform(key, slot + 40);
+        if (ds <= 0.0 || accept_draw < std::exp(-ds)) {
+          u = u_new;
+          ++accepted;
+        }
+      }
+      // Keep the link exactly on the group manifold.
+      u = project_su3(u);
+      typename LatticeColourMatrix<S>::scalar_object out;
+      for (int i = 0; i < Nc; ++i)
+        for (int j = 0; j < Nc; ++j)
+          out(i, j) = std::complex<typename S::real_type>(
+              static_cast<typename S::real_type>(u(i, j).real()),
+              static_cast<typename S::real_type>(u(i, j).imag()));
+      g.U[mu].poke(x, out);
+    }
+  }
+  SweepStats stats;
+  stats.acceptance = static_cast<double>(accepted) / static_cast<double>(proposed);
+  return stats;
+}
+
+}  // namespace svelat::qcd

@@ -1,0 +1,88 @@
+// Gauge observables beyond the plaquette: rectangular Wilson loops and the
+// Polyakov loop.  Standard gauge diagnostics; every one is a closed
+// product of links, so together they exercise long chains of Cshift-ed
+// SU(3) multiplies across all lattice directions -- a heavier layout test
+// than the 1x1 plaquette.
+#pragma once
+
+#include "lattice/cshift.h"
+#include "lattice/local_ops.h"
+#include "qcd/types.h"
+
+namespace svelat::qcd {
+
+namespace detail {
+
+/// Ordered product of R links along direction mu starting at each site:
+/// L_mu^R(x) = U_mu(x) U_mu(x+mu) ... U_mu(x+(R-1)mu).
+template <class S>
+LatticeColourMatrix<S> link_line(const GaugeField<S>& g, int mu, int length) {
+  LatticeColourMatrix<S> line = g.U[mu];
+  LatticeColourMatrix<S> shifted = g.U[mu];
+  for (int step = 1; step < length; ++step) {
+    shifted = lattice::Cshift(shifted, mu, +1);  // U_mu(x + step*mu)
+    lattice::local_mult(line, line, shifted);
+  }
+  return line;
+}
+
+}  // namespace detail
+
+/// Average R x T rectangular Wilson loop in the (mu, nu) plane, normalized
+/// to 1 for the free field:
+///   W = < Re tr [ L_mu^R(x) L_nu^T(x+R mu) L_mu^R(x+T nu)^dag L_nu^T(x)^dag ] > / Nc.
+template <class S>
+double wilson_loop(const GaugeField<S>& g, int mu, int nu, int r, int t) {
+  SVELAT_ASSERT_MSG(mu != nu, "loop plane needs two distinct directions");
+  using namespace lattice;
+  const GridCartesian* grid = g.grid();
+
+  LatticeColourMatrix<S> bottom = detail::link_line(g, mu, r);  // x -> x+R mu
+  LatticeColourMatrix<S> right = detail::link_line(g, nu, t);   // x -> x+T nu
+  // Shift the far sides into place.
+  LatticeColourMatrix<S> right_shifted = right;
+  for (int step = 0; step < r; ++step) right_shifted = Cshift(right_shifted, mu, +1);
+  LatticeColourMatrix<S> top = bottom;
+  for (int step = 0; step < t; ++step) top = Cshift(top, nu, +1);
+
+  S acc = S::zero();
+  for (std::int64_t o = 0; o < grid->osites(); ++o) {
+    const auto loop = bottom[o] * right_shifted[o] * tensor::adj(top[o]) *
+                      tensor::adj(right[o]);
+    acc += tensor::trace(loop);
+  }
+  return reduce(acc).real() / (static_cast<double>(grid->gsites()) * Nc);
+}
+
+/// Average over all planes of the R x T Wilson loop.
+template <class S>
+double average_wilson_loop(const GaugeField<S>& g, int r, int t) {
+  double sum = 0;
+  int planes = 0;
+  for (int mu = 0; mu < lattice::Nd; ++mu)
+    for (int nu = 0; nu < lattice::Nd; ++nu) {
+      if (mu == nu) continue;
+      sum += wilson_loop(g, mu, nu, r, t);
+      ++planes;
+    }
+  return sum / planes;
+}
+
+/// Volume-averaged Polyakov loop: P = < tr prod_t U_t(x, t) > / Nc.
+/// Order parameter of confinement on quenched configurations.
+template <class S>
+std::complex<double> polyakov_loop(const GaugeField<S>& g) {
+  using namespace lattice;
+  const GridCartesian* grid = g.grid();
+  const int T = grid->fdimensions()[3];
+  const LatticeColourMatrix<S> line = detail::link_line(g, 3, T);
+  // tr(line) summed over the t=0 slice only (the line is translation
+  // invariant in t up to cyclic reordering, which leaves the trace
+  // unchanged, so summing all sites and dividing by T is equivalent).
+  S acc = S::zero();
+  for (std::int64_t o = 0; o < grid->osites(); ++o) acc += tensor::trace(line[o]);
+  const std::complex<double> total = reduce(acc);
+  return total / (static_cast<double>(grid->gsites()) * Nc);
+}
+
+}  // namespace svelat::qcd

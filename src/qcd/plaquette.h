@@ -1,0 +1,36 @@
+// Average plaquette: the standard gauge observable and a strong layout
+// test -- it touches every link, every direction and every boundary
+// permute, and must be exactly gauge invariant.
+#pragma once
+
+#include "lattice/cshift.h"
+#include "qcd/types.h"
+
+namespace svelat::qcd {
+
+/// Mean of Re tr [ U_mu(x) U_nu(x+mu) U_mu^dag(x+nu) U_nu^dag(x) ] / Nc
+/// over all sites and the 6 (mu < nu) planes.
+template <class S>
+double average_plaquette(const GaugeField<S>& g) {
+  using namespace lattice;
+  const GridCartesian* grid = g.grid();
+  double total = 0.0;
+  int planes = 0;
+  for (int mu = 0; mu < Nd; ++mu) {
+    for (int nu = mu + 1; nu < Nd; ++nu) {
+      const LatticeColourMatrix<S> u_nu_xpmu = Cshift(g.U[nu], mu, +1);
+      const LatticeColourMatrix<S> u_mu_xpnu = Cshift(g.U[mu], nu, +1);
+      S acc = S::zero();
+      for (std::int64_t o = 0; o < grid->osites(); ++o) {
+        const auto staple =
+            g.U[mu][o] * u_nu_xpmu[o] * tensor::adj(u_mu_xpnu[o]) * tensor::adj(g.U[nu][o]);
+        acc += tensor::trace(staple);
+      }
+      total += reduce(acc).real();
+      ++planes;
+    }
+  }
+  return total / (static_cast<double>(grid->gsites()) * Nc * planes);
+}
+
+}  // namespace svelat::qcd

@@ -1,0 +1,8 @@
+// Umbrella header for the QCD layer.
+#pragma once
+
+#include "qcd/gamma.h"      // IWYU pragma: export
+#include "qcd/plaquette.h"  // IWYU pragma: export
+#include "qcd/su3.h"        // IWYU pragma: export
+#include "qcd/types.h"      // IWYU pragma: export
+#include "qcd/wilson.h"     // IWYU pragma: export

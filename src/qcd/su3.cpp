@@ -1,0 +1,70 @@
+#include "qcd/su3.h"
+
+#include <cmath>
+
+namespace svelat::qcd {
+
+namespace {
+using C = std::complex<double>;
+
+C dot_row(const ScalarColourMatrix& m, int r1, int r2) {
+  C acc{};
+  for (int c = 0; c < Nc; ++c) acc += std::conj(m(r1, c)) * m(r2, c);
+  return acc;
+}
+
+double row_norm(const ScalarColourMatrix& m, int r) {
+  double acc = 0;
+  for (int c = 0; c < Nc; ++c) acc += std::norm(m(r, c));
+  return std::sqrt(acc);
+}
+}  // namespace
+
+C determinant(const ScalarColourMatrix& m) {
+  return m(0, 0) * (m(1, 1) * m(2, 2) - m(1, 2) * m(2, 1)) -
+         m(0, 1) * (m(1, 0) * m(2, 2) - m(1, 2) * m(2, 0)) +
+         m(0, 2) * (m(1, 0) * m(2, 1) - m(1, 1) * m(2, 0));
+}
+
+ScalarColourMatrix project_su3(const ScalarColourMatrix& in) {
+  ScalarColourMatrix m = in;
+  // Gram-Schmidt on rows 0 and 1.
+  double n0 = row_norm(m, 0);
+  for (int c = 0; c < Nc; ++c) m(0, c) /= n0;
+  const C proj = dot_row(m, 0, 1);
+  for (int c = 0; c < Nc; ++c) m(1, c) -= proj * m(0, c);
+  const double n1 = row_norm(m, 1);
+  for (int c = 0; c < Nc; ++c) m(1, c) /= n1;
+  // Row 2 = conj(row0 x row1): unitary AND det = +1 by construction.
+  m(2, 0) = std::conj(m(0, 1) * m(1, 2) - m(0, 2) * m(1, 1));
+  m(2, 1) = std::conj(m(0, 2) * m(1, 0) - m(0, 0) * m(1, 2));
+  m(2, 2) = std::conj(m(0, 0) * m(1, 1) - m(0, 1) * m(1, 0));
+  return m;
+}
+
+double unitarity_error(const ScalarColourMatrix& m) {
+  double err = 0;
+  for (int i = 0; i < Nc; ++i) {
+    for (int j = 0; j < Nc; ++j) {
+      C acc{};
+      for (int k = 0; k < Nc; ++k) acc += m(i, k) * std::conj(m(j, k));
+      const C expect = (i == j) ? C(1, 0) : C(0, 0);
+      err = std::max(err, std::abs(acc - expect));
+    }
+  }
+  return err;
+}
+
+ScalarColourMatrix random_su3(const SiteRNG& rng, std::uint64_t key,
+                              std::uint64_t slot_base) {
+  ScalarColourMatrix m;
+  std::uint64_t slot = slot_base;
+  for (int i = 0; i < Nc; ++i)
+    for (int j = 0; j < Nc; ++j) {
+      m(i, j) = C(rng.gaussian(key, slot), rng.gaussian(key, slot + 1));
+      slot += 2;
+    }
+  return project_su3(m);
+}
+
+}  // namespace svelat::qcd

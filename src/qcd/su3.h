@@ -1,0 +1,114 @@
+// SU(3) utilities: random group elements, unitarity checks, gauge
+// transformations.
+//
+// Random links are produced site-by-site from the layout-independent RNG
+// (support/random.h), so a gauge configuration is bit-identical for every
+// vector length and backend -- required by the Sec. V-D verification.
+#pragma once
+
+#include <complex>
+
+#include "qcd/types.h"
+#include "support/random.h"
+
+namespace svelat::qcd {
+
+using ScalarColourMatrix = tensor::iMatrix<std::complex<double>, Nc>;
+
+/// Determinant of a 3x3 complex matrix.
+std::complex<double> determinant(const ScalarColourMatrix& m);
+
+/// Gram-Schmidt orthonormalize the rows and fix det = +1 (projects any
+/// non-singular matrix onto SU(3)).
+ScalarColourMatrix project_su3(const ScalarColourMatrix& m);
+
+/// Max-norm deviation from unitarity: || m m^dag - 1 ||_max.
+double unitarity_error(const ScalarColourMatrix& m);
+
+/// Random SU(3) element from site-keyed gaussians (key, slot_base select
+/// the random stream).
+ScalarColourMatrix random_su3(const SiteRNG& rng, std::uint64_t key,
+                              std::uint64_t slot_base = 0);
+
+// ---------------------------------------------------------------------------
+// Field-level helpers (templated on the SIMD scalar).
+// ---------------------------------------------------------------------------
+/// Set every link to the identity (free field).
+template <class S>
+void unit_gauge(GaugeField<S>& g) {
+  using sobj = typename LatticeColourMatrix<S>::scalar_object;
+  const lattice::GridCartesian* grid = g.grid();
+  sobj unit = tensor::Zero<sobj>();
+  for (int c = 0; c < Nc; ++c) unit(c, c) = std::complex<double>(1.0, 0.0);
+  for (int mu = 0; mu < lattice::Nd; ++mu) {
+    for (std::int64_t o = 0; o < grid->osites(); ++o)
+      for (unsigned l = 0; l < grid->isites(); ++l)
+        g.U[mu].poke(grid->global_coor(o, l), unit);
+  }
+}
+
+/// Haar-ish random gauge configuration (gaussian + SU(3) projection),
+/// identical for every layout at fixed seed.
+template <class S>
+void random_gauge(const SiteRNG& rng, GaugeField<S>& g) {
+  const lattice::GridCartesian* grid = g.grid();
+  for (int mu = 0; mu < lattice::Nd; ++mu) {
+    for (std::int64_t o = 0; o < grid->osites(); ++o) {
+      for (unsigned l = 0; l < grid->isites(); ++l) {
+        const lattice::Coordinate x = grid->global_coor(o, l);
+        const auto key = static_cast<std::uint64_t>(grid->global_index(x));
+        const ScalarColourMatrix u =
+            random_su3(rng, key, 64 + 32 * static_cast<std::uint64_t>(mu));
+        typename LatticeColourMatrix<S>::scalar_object s;
+        for (int i = 0; i < Nc; ++i)
+          for (int j = 0; j < Nc; ++j)
+            s(i, j) = std::complex<typename S::real_type>(
+                static_cast<typename S::real_type>(u(i, j).real()),
+                static_cast<typename S::real_type>(u(i, j).imag()));
+        g.U[mu].poke(x, s);
+      }
+    }
+  }
+}
+
+/// Random SU(3) site field V(x) for gauge transformations.
+template <class S>
+void random_colour_transform(const SiteRNG& rng, LatticeColourMatrix<S>& v) {
+  const lattice::GridCartesian* grid = v.grid();
+  for (std::int64_t o = 0; o < grid->osites(); ++o) {
+    for (unsigned l = 0; l < grid->isites(); ++l) {
+      const lattice::Coordinate x = grid->global_coor(o, l);
+      const auto key = static_cast<std::uint64_t>(grid->global_index(x));
+      const ScalarColourMatrix u = random_su3(rng, key, 4096);
+      typename LatticeColourMatrix<S>::scalar_object s;
+      for (int i = 0; i < Nc; ++i)
+        for (int j = 0; j < Nc; ++j)
+          s(i, j) = std::complex<typename S::real_type>(
+              static_cast<typename S::real_type>(u(i, j).real()),
+              static_cast<typename S::real_type>(u(i, j).imag()));
+      v.poke(x, s);
+    }
+  }
+}
+
+/// Gauge transform the links: U'_mu(x) = V(x) U_mu(x) V^dag(x + mu^).
+template <class S>
+void gauge_transform(GaugeField<S>& g, const LatticeColourMatrix<S>& v) {
+  for (int mu = 0; mu < lattice::Nd; ++mu) {
+    const LatticeColourMatrix<S> v_fwd = lattice::Cshift(v, mu, +1);
+    for (std::int64_t o = 0; o < g.grid()->osites(); ++o)
+      g.U[mu][o] = v[o] * g.U[mu][o] * tensor::adj(v_fwd[o]);
+  }
+}
+
+/// Gauge transform a fermion: psi'(x) = V(x) psi(x).
+template <class S>
+void gauge_transform(LatticeFermion<S>& psi, const LatticeColourMatrix<S>& v) {
+  for (std::int64_t o = 0; o < psi.osites(); ++o) {
+    SpinColourVector<S> r;
+    for (int s = 0; s < Ns; ++s) r(s) = v[o] * psi[o](s);
+    psi[o] = r;
+  }
+}
+
+}  // namespace svelat::qcd

@@ -1,0 +1,42 @@
+// Backend policies for the SIMD abstraction layer.
+//
+// Table I of the paper lists the architecture-specific implementations Grid
+// ships; this port adds SVE ones.  We provide three interchangeable
+// backends for every functor:
+//
+//   Generic   Plain C++ loops over the vec<T> array -- Table I's "generic
+//             C/C++" row (what you get relying on auto-vectorization).
+//   SveFcmla  ACLE using the dedicated complex-arithmetic instructions
+//             (FCMLA/FCADD), the implementation of Sec. V-C.
+//   SveReal   ACLE using real-arithmetic instructions plus permutes, the
+//             alternative implementation of Sec. V-E ("at the cost of
+//             higher instruction count").
+#pragma once
+
+namespace svelat::simd {
+
+struct Generic {
+  static constexpr const char* name = "generic";
+};
+
+struct SveFcmla {
+  static constexpr const char* name = "sve-fcmla";
+};
+
+struct SveReal {
+  static constexpr const char* name = "sve-real";
+};
+
+/// Runtime backend selector (for harness code that dispatches by name).
+enum class Backend { kGeneric, kSveFcmla, kSveReal };
+
+constexpr const char* backend_name(Backend b) {
+  switch (b) {
+    case Backend::kGeneric: return Generic::name;
+    case Backend::kSveFcmla: return SveFcmla::name;
+    case Backend::kSveReal: return SveReal::name;
+  }
+  return "?";
+}
+
+}  // namespace svelat::simd

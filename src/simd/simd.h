@@ -1,0 +1,8 @@
+// Umbrella header for the SIMD abstraction layer (paper Sec. V).
+#pragma once
+
+#include "simd/acle.h"          // IWYU pragma: export
+#include "simd/ops.h"           // IWYU pragma: export
+#include "simd/policy.h"        // IWYU pragma: export
+#include "simd/simd_complex.h"  // IWYU pragma: export
+#include "simd/vec.h"           // IWYU pragma: export

@@ -1,0 +1,69 @@
+// Aligned allocation support.
+//
+// Lattice containers must be aligned to the widest vector the SVE simulator
+// models (2048 bit = 256 byte) so that the ACLE-style load/store intrinsics
+// see the alignment real SVE hardware would get from Grid's allocator.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <limits>
+#include <new>
+#include <vector>
+
+namespace svelat {
+
+/// Maximum SVE vector length in bytes (2048 bit); used as default alignment.
+inline constexpr std::size_t kMaxVectorBytes = 256;
+
+/// Minimal C++17 std::allocator replacement with fixed alignment.
+template <typename T, std::size_t Align = kMaxVectorBytes>
+class AlignedAllocator {
+ public:
+  static_assert((Align & (Align - 1)) == 0, "alignment must be a power of two");
+  static_assert(Align >= alignof(T), "alignment weaker than type requires");
+
+  using value_type = T;
+  using size_type = std::size_t;
+  using difference_type = std::ptrdiff_t;
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Align>;
+  };
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Align>&) noexcept {}
+
+  [[nodiscard]] T* allocate(size_type n) {
+    if (n > std::numeric_limits<size_type>::max() / sizeof(T)) throw std::bad_alloc{};
+    // Round the byte count up to a multiple of the alignment as required by
+    // std::aligned_alloc.
+    const size_type bytes = ((n * sizeof(T) + Align - 1) / Align) * Align;
+    void* p = std::aligned_alloc(Align, bytes);
+    if (p == nullptr) throw std::bad_alloc{};
+    return static_cast<T*>(p);
+  }
+
+  void deallocate(T* p, size_type) noexcept { std::free(p); }
+
+  friend bool operator==(const AlignedAllocator&, const AlignedAllocator&) {
+    return true;
+  }
+  friend bool operator!=(const AlignedAllocator&, const AlignedAllocator&) {
+    return false;
+  }
+};
+
+/// Vector whose storage is aligned for any SVE vector length.
+template <typename T>
+using AlignedVector = std::vector<T, AlignedAllocator<T>>;
+
+/// True if the pointer satisfies the given alignment.
+inline bool is_aligned(const void* p, std::size_t align) {
+  return (reinterpret_cast<std::uintptr_t>(p) & (align - 1)) == 0;
+}
+
+}  // namespace svelat

@@ -1,0 +1,39 @@
+// Lightweight assertion machinery.
+//
+// SVELAT_ASSERT is always on (also in release builds): the framework is a
+// correctness-first reproduction and the simulator is the slow part anyway.
+// SVELAT_DEBUG_ASSERT compiles out unless SVELAT_DEBUG_CHECKS is defined;
+// it guards per-lane hot paths inside the SVE simulator.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace svelat {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line,
+                                     const char* msg) {
+  std::fprintf(stderr, "svelat: assertion failed: %s\n  at %s:%d\n  %s\n", expr, file,
+               line, msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace svelat
+
+#define SVELAT_ASSERT(expr)                                             \
+  do {                                                                  \
+    if (!(expr)) ::svelat::assert_fail(#expr, __FILE__, __LINE__, nullptr); \
+  } while (0)
+
+#define SVELAT_ASSERT_MSG(expr, msg)                                 \
+  do {                                                               \
+    if (!(expr)) ::svelat::assert_fail(#expr, __FILE__, __LINE__, msg); \
+  } while (0)
+
+#if defined(SVELAT_DEBUG_CHECKS)
+#define SVELAT_DEBUG_ASSERT(expr) SVELAT_ASSERT(expr)
+#else
+#define SVELAT_DEBUG_ASSERT(expr) \
+  do {                            \
+  } while (0)
+#endif

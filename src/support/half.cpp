@@ -1,0 +1,98 @@
+#include "support/half.h"
+
+#include <cstring>
+#include <ostream>
+
+namespace svelat {
+
+namespace {
+
+std::uint32_t float_bits(float f) {
+  std::uint32_t u;
+  std::memcpy(&u, &f, sizeof(u));
+  return u;
+}
+
+float bits_float(std::uint32_t u) {
+  float f;
+  std::memcpy(&f, &u, sizeof(f));
+  return f;
+}
+
+}  // namespace
+
+std::uint16_t half::float_to_bits(float f) {
+  const std::uint32_t u = float_bits(f);
+  const std::uint32_t sign = (u >> 16) & 0x8000u;
+  const std::int32_t exponent = static_cast<std::int32_t>((u >> 23) & 0xffu) - 127;
+  std::uint32_t mantissa = u & 0x007fffffu;
+
+  if (exponent == 128) {  // inf or NaN
+    if (mantissa == 0) return static_cast<std::uint16_t>(sign | 0x7c00u);
+    // Preserve a quiet NaN; keep the top mantissa bits so payloads survive
+    // roundtrips where possible.
+    return static_cast<std::uint16_t>(sign | 0x7c00u | (mantissa >> 13) | 1u);
+  }
+
+  if (exponent > 15) {  // overflow -> infinity
+    return static_cast<std::uint16_t>(sign | 0x7c00u);
+  }
+
+  if (exponent >= -14) {  // normal range
+    std::uint32_t m = mantissa >> 13;
+    const std::uint32_t rest = mantissa & 0x1fffu;
+    // Round to nearest, ties to even.
+    if (rest > 0x1000u || (rest == 0x1000u && (m & 1u))) ++m;
+    std::uint32_t e = static_cast<std::uint32_t>(exponent + 15);
+    if (m == 0x400u) {  // mantissa overflowed into the exponent
+      m = 0;
+      ++e;
+      if (e == 31) return static_cast<std::uint16_t>(sign | 0x7c00u);
+    }
+    return static_cast<std::uint16_t>(sign | (e << 10) | m);
+  }
+
+  if (exponent >= -24) {  // subnormal half range
+    // Add the implicit leading 1 and shift into subnormal position.
+    mantissa |= 0x00800000u;
+    const int shift = -exponent - 14 + 13;  // 14..24 -> shift 13..23
+    std::uint32_t m = mantissa >> shift;
+    const std::uint32_t rest = mantissa & ((1u << shift) - 1u);
+    const std::uint32_t halfway = 1u << (shift - 1);
+    if (rest > halfway || (rest == halfway && (m & 1u))) ++m;
+    // m may carry into the normal range (0x400); the bit pattern is then
+    // exactly the smallest normal, so no special casing is needed.
+    return static_cast<std::uint16_t>(sign | m);
+  }
+
+  return static_cast<std::uint16_t>(sign);  // underflow to signed zero
+}
+
+float half::bits_to_float(std::uint16_t h) {
+  const std::uint32_t sign = static_cast<std::uint32_t>(h & 0x8000u) << 16;
+  const std::uint32_t exponent = (h >> 10) & 0x1fu;
+  std::uint32_t mantissa = h & 0x03ffu;
+
+  if (exponent == 31) {  // inf / NaN
+    return bits_float(sign | 0x7f800000u | (mantissa << 13));
+  }
+  if (exponent == 0) {
+    if (mantissa == 0) return bits_float(sign);  // signed zero
+    // Subnormal: normalize by shifting the mantissa up.
+    // Shift until the implicit 1 surfaces at bit 10; each shift halves the
+    // exponent headroom below 2^-14 (the smallest normal).
+    int e = 0;
+    while ((mantissa & 0x0400u) == 0) {
+      ++e;
+      mantissa <<= 1;
+    }
+    mantissa &= 0x03ffu;
+    return bits_float(sign | (static_cast<std::uint32_t>(113 - e) << 23) |
+                      (mantissa << 13));
+  }
+  return bits_float(sign | ((exponent + 112) << 23) | (mantissa << 13));
+}
+
+std::ostream& operator<<(std::ostream& os, half h) { return os << static_cast<float>(h); }
+
+}  // namespace svelat

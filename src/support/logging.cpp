@@ -1,0 +1,37 @@
+#include "support/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace svelat {
+
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kInfo};
+std::mutex g_mutex;
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info ";
+    case LogLevel::kWarn: return "warn ";
+    case LogLevel::kError: return "error";
+    default: return "?";
+  }
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+
+void log_message(LogLevel level, const std::string& msg) {
+  if (level < g_level.load(std::memory_order_relaxed)) return;
+  std::lock_guard<std::mutex> lock(g_mutex);
+  std::fprintf(level >= LogLevel::kWarn ? stderr : stdout, "[svelat %s] %s\n",
+               level_tag(level), msg.c_str());
+}
+
+}  // namespace svelat

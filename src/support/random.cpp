@@ -1,0 +1,18 @@
+#include "support/random.h"
+
+#include <cmath>
+
+namespace svelat {
+
+double SiteRNG::gaussian(std::uint64_t site, std::uint64_t slot) const {
+  // Box-Muller on two decorrelated uniforms derived from the same key.
+  // Slot-space is split so gaussian(slot) never shares raw bits with
+  // uniform(slot) of the same site.
+  const double u1 = uniform(site, 2 * slot + 0x4000'0000'0000'0000ull);
+  const double u2 = uniform(site, 2 * slot + 0x4000'0000'0000'0001ull);
+  // Guard against log(0).
+  const double r = std::sqrt(-2.0 * std::log(u1 + 0x1.0p-60));
+  return r * std::cos(6.28318530717958647692 * u2);
+}
+
+}  // namespace svelat

@@ -1,0 +1,27 @@
+// Wall-clock stopwatch used by benches and examples.
+#pragma once
+
+#include <chrono>
+
+namespace svelat {
+
+class StopWatch {
+ public:
+  using clock = std::chrono::steady_clock;
+
+  StopWatch() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  /// Elapsed seconds since construction or last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+  double milliseconds() const { return seconds() * 1e3; }
+  double microseconds() const { return seconds() * 1e6; }
+
+ private:
+  clock::time_point start_;
+};
+
+}  // namespace svelat

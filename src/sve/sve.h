@@ -1,0 +1,23 @@
+// Umbrella header for the SVE simulator: the ACLE-style intrinsic surface.
+//
+// This subsystem substitutes for the armclang SVE toolchain + ArmIE
+// emulator used by the paper (see DESIGN.md, substitution table).  It
+// executes SVE semantics per element, tallies a dynamic instruction count,
+// and can render executed intrinsics as assembly-like listings.
+//
+// Usage discipline: the register types are stand-ins for hardware
+// "sizeless" types -- never store them in framework classes; load from /
+// store to ordinary aligned arrays inside a function (paper Sec. V-A).
+#pragma once
+
+#include "sve/sve_arith.h"     // IWYU pragma: export
+#include "sve/sve_complex.h"   // IWYU pragma: export
+#include "sve/sve_config.h"    // IWYU pragma: export
+#include "sve/sve_counters.h"  // IWYU pragma: export
+#include "sve/sve_cvt.h"       // IWYU pragma: export
+#include "sve/sve_mem.h"       // IWYU pragma: export
+#include "sve/sve_perm.h"      // IWYU pragma: export
+#include "sve/sve_pred.h"      // IWYU pragma: export
+#include "sve/sve_reduce.h"    // IWYU pragma: export
+#include "sve/sve_trace.h"     // IWYU pragma: export
+#include "sve/sve_types.h"     // IWYU pragma: export

@@ -1,0 +1,268 @@
+// Arithmetic intrinsics (real; complex rotations live in sve_complex.h).
+//
+// ACLE predication suffixes:
+//   _z : inactive lanes zeroed
+//   _m : inactive lanes keep the value of the first vector operand
+//   _x : inactive lanes are "don't care"; the simulator makes them
+//        deterministic by treating _x like _m, which is one of the
+//        behaviours real implementations exhibit.
+#pragma once
+
+#include <cmath>
+
+#include "sve/sve_detail.h"
+
+namespace svelat::sve {
+
+namespace detail {
+
+enum class PredMode { kZero, kMerge };
+
+template <typename E, typename Op>
+inline svreg<E> binary_impl(const svbool_t& pg, const svreg<E>& a, const svreg<E>& b,
+                            Op op, PredMode mode, InsnClass cls, const char* mnemonic) {
+  record(cls, mnemonic, suffix<E>());
+  svreg<E> r;
+  const unsigned n = active_lanes<E>();
+  for (unsigned i = 0; i < n; ++i) {
+    if (pred_elem<E>(pg, i)) {
+      r.lane[i] = op(a.lane[i], b.lane[i]);
+    } else {
+      r.lane[i] = (mode == PredMode::kZero) ? E{} : a.lane[i];
+    }
+  }
+  clear_inactive_storage(r, n);
+  return r;
+}
+
+template <typename E, typename Op>
+inline svreg<E> unary_impl(const svbool_t& pg, const svreg<E>& a, Op op, PredMode mode,
+                           InsnClass cls, const char* mnemonic) {
+  record(cls, mnemonic, suffix<E>());
+  svreg<E> r;
+  const unsigned n = active_lanes<E>();
+  for (unsigned i = 0; i < n; ++i) {
+    if (pred_elem<E>(pg, i)) {
+      r.lane[i] = op(a.lane[i]);
+    } else {
+      r.lane[i] = (mode == PredMode::kZero) ? E{} : a.lane[i];
+    }
+  }
+  clear_inactive_storage(r, n);
+  return r;
+}
+
+// Fused multiply-accumulate family.  sign_acc / sign_prod give
+// FMLA(+acc,+ab), FMLS(+acc,-ab), FNMLA(-acc,-ab), FNMLS(-acc,+ab).
+template <typename E>
+inline svreg<E> fma_impl(const svbool_t& pg, const svreg<E>& acc, const svreg<E>& a,
+                         const svreg<E>& b, int sign_acc, int sign_prod,
+                         const char* mnemonic) {
+  record(InsnClass::kFMla, mnemonic, suffix<E>());
+  svreg<E> r;
+  const unsigned n = active_lanes<E>();
+  for (unsigned i = 0; i < n; ++i) {
+    if (pred_elem<E>(pg, i)) {
+      r.lane[i] = static_cast<E>(sign_acc > 0 ? acc.lane[i] : -acc.lane[i]) +
+                  static_cast<E>(sign_prod > 0 ? a.lane[i] * b.lane[i]
+                                               : -(a.lane[i] * b.lane[i]));
+    } else {
+      r.lane[i] = acc.lane[i];
+    }
+  }
+  clear_inactive_storage(r, n);
+  return r;
+}
+
+}  // namespace detail
+
+// --- Broadcast / immediates -----------------------------------------------
+template <typename E>
+inline svreg<E> svdup(E value) {
+  detail::record(InsnClass::kDup, "dup z", detail::suffix<E>());
+  svreg<E> r;
+  const unsigned n = detail::active_lanes<E>();
+  for (unsigned i = 0; i < n; ++i) r.lane[i] = value;
+  detail::clear_inactive_storage(r, n);
+  return r;
+}
+
+inline svfloat64_t svdup_f64(float64_t v) { return svdup<float64_t>(v); }
+inline svfloat32_t svdup_f32(float32_t v) { return svdup<float32_t>(v); }
+inline svfloat16_t svdup_f16(float16_t v) { return svdup<float16_t>(v); }
+
+/// Linear index vector: base, base+step, base+2*step, ...
+template <typename E>
+inline svreg<E> svindex(E base, E step) {
+  detail::record(InsnClass::kDup, "index z", detail::suffix<E>());
+  svreg<E> r;
+  const unsigned n = detail::active_lanes<E>();
+  for (unsigned i = 0; i < n; ++i) r.lane[i] = static_cast<E>(base + static_cast<E>(i) * step);
+  detail::clear_inactive_storage(r, n);
+  return r;
+}
+
+// --- Binary arithmetic -------------------------------------------------------
+#define SVELAT_SVE_BINARY(NAME, OPEXPR, CLS, MNEMONIC)                             \
+  template <typename E>                                                            \
+  inline svreg<E> NAME##_x(const svbool_t& pg, const svreg<E>& a, const svreg<E>& b) { \
+    return detail::binary_impl<E>(                                                 \
+        pg, a, b, [](E x, E y) { return static_cast<E>(OPEXPR); },                 \
+        detail::PredMode::kMerge, CLS, MNEMONIC " z, p/m, z, z");                  \
+  }                                                                                \
+  template <typename E>                                                            \
+  inline svreg<E> NAME##_m(const svbool_t& pg, const svreg<E>& a, const svreg<E>& b) { \
+    return detail::binary_impl<E>(                                                 \
+        pg, a, b, [](E x, E y) { return static_cast<E>(OPEXPR); },                 \
+        detail::PredMode::kMerge, CLS, MNEMONIC " z, p/m, z, z");                  \
+  }                                                                                \
+  template <typename E>                                                            \
+  inline svreg<E> NAME##_z(const svbool_t& pg, const svreg<E>& a, const svreg<E>& b) { \
+    return detail::binary_impl<E>(                                                 \
+        pg, a, b, [](E x, E y) { return static_cast<E>(OPEXPR); },                 \
+        detail::PredMode::kZero, CLS, MNEMONIC " z, p/z, z, z");                   \
+  }
+
+SVELAT_SVE_BINARY(svadd, x + y, InsnClass::kFAddSub, "fadd")
+SVELAT_SVE_BINARY(svsub, x - y, InsnClass::kFAddSub, "fsub")
+SVELAT_SVE_BINARY(svmul, x * y, InsnClass::kFMul, "fmul")
+SVELAT_SVE_BINARY(svdiv, x / y, InsnClass::kFDivSqrt, "fdiv")
+SVELAT_SVE_BINARY(svmax, (x < y ? y : x), InsnClass::kFAddSub, "fmax")
+SVELAT_SVE_BINARY(svmin, (y < x ? y : x), InsnClass::kFAddSub, "fmin")
+
+#undef SVELAT_SVE_BINARY
+
+// --- Unary arithmetic ----------------------------------------------------------
+template <typename E>
+inline svreg<E> svneg_x(const svbool_t& pg, const svreg<E>& a) {
+  return detail::unary_impl<E>(
+      pg, a, [](E x) { return static_cast<E>(-x); }, detail::PredMode::kMerge,
+      InsnClass::kFAddSub, "fneg z, p/m, z");
+}
+
+template <typename E>
+inline svreg<E> svabs_x(const svbool_t& pg, const svreg<E>& a) {
+  return detail::unary_impl<E>(
+      pg, a, [](E x) { return static_cast<E>(x < E{} ? -x : x); },
+      detail::PredMode::kMerge, InsnClass::kFAddSub, "fabs z, p/m, z");
+}
+
+inline svfloat64_t svsqrt_x(const svbool_t& pg, const svfloat64_t& a) {
+  return detail::unary_impl<float64_t>(
+      pg, a, [](float64_t x) { return std::sqrt(x); }, detail::PredMode::kMerge,
+      InsnClass::kFDivSqrt, "fsqrt z, p/m, z");
+}
+
+inline svfloat32_t svsqrt_x(const svbool_t& pg, const svfloat32_t& a) {
+  return detail::unary_impl<float32_t>(
+      pg, a, [](float32_t x) { return std::sqrt(x); }, detail::PredMode::kMerge,
+      InsnClass::kFDivSqrt, "fsqrt z, p/m, z");
+}
+
+// --- Fused multiply-add family ---------------------------------------------------
+/// acc + a*b  (FMLA)
+template <typename E>
+inline svreg<E> svmla_x(const svbool_t& pg, const svreg<E>& acc, const svreg<E>& a,
+                        const svreg<E>& b) {
+  return detail::fma_impl<E>(pg, acc, a, b, +1, +1, "fmla z, p/m, z, z");
+}
+template <typename E>
+inline svreg<E> svmla_m(const svbool_t& pg, const svreg<E>& acc, const svreg<E>& a,
+                        const svreg<E>& b) {
+  return detail::fma_impl<E>(pg, acc, a, b, +1, +1, "fmla z, p/m, z, z");
+}
+
+/// acc - a*b  (FMLS)
+template <typename E>
+inline svreg<E> svmls_x(const svbool_t& pg, const svreg<E>& acc, const svreg<E>& a,
+                        const svreg<E>& b) {
+  return detail::fma_impl<E>(pg, acc, a, b, +1, -1, "fmls z, p/m, z, z");
+}
+
+/// -acc - a*b  (FNMLA)
+template <typename E>
+inline svreg<E> svnmla_x(const svbool_t& pg, const svreg<E>& acc, const svreg<E>& a,
+                         const svreg<E>& b) {
+  return detail::fma_impl<E>(pg, acc, a, b, -1, -1, "fnmla z, p/m, z, z");
+}
+
+/// -acc + a*b  (FNMLS; appears in the armclang listing of Sec. IV-B)
+template <typename E>
+inline svreg<E> svnmls_x(const svbool_t& pg, const svreg<E>& acc, const svreg<E>& a,
+                         const svreg<E>& b) {
+  return detail::fma_impl<E>(pg, acc, a, b, -1, +1, "fnmls z, p/m, z, z");
+}
+
+// --- Select ----------------------------------------------------------------------
+template <typename E>
+inline svreg<E> svsel(const svbool_t& pg, const svreg<E>& a, const svreg<E>& b) {
+  detail::record(InsnClass::kPermute, "sel z, p, z, z", detail::suffix<E>());
+  svreg<E> r;
+  const unsigned n = detail::active_lanes<E>();
+  for (unsigned i = 0; i < n; ++i)
+    r.lane[i] = detail::pred_elem<E>(pg, i) ? a.lane[i] : b.lane[i];
+  detail::clear_inactive_storage(r, n);
+  return r;
+}
+
+// --- Integer helpers (vector) -------------------------------------------------------
+template <typename E>
+inline svreg<E> svadd_int_x(const svbool_t& pg, const svreg<E>& a, const svreg<E>& b) {
+  return detail::binary_impl<E>(
+      pg, a, b, [](E x, E y) { return static_cast<E>(x + y); },
+      detail::PredMode::kMerge, InsnClass::kIntOp, "add z, p/m, z, z");
+}
+
+template <typename E>
+inline svreg<E> svand_int_x(const svbool_t& pg, const svreg<E>& a, const svreg<E>& b) {
+  return detail::binary_impl<E>(
+      pg, a, b, [](E x, E y) { return static_cast<E>(x & y); },
+      detail::PredMode::kMerge, InsnClass::kIntOp, "and z, p/m, z, z");
+}
+
+template <typename E>
+inline svreg<E> svlsl_int_x(const svbool_t& pg, const svreg<E>& a, unsigned shift) {
+  return detail::unary_impl<E>(
+      pg, a, [shift](E x) { return static_cast<E>(x << shift); },
+      detail::PredMode::kMerge, InsnClass::kIntOp, "lsl z, p/m, z, #imm");
+}
+
+// --- Floating-point compares (produce predicates) --------------------------------------
+namespace detail {
+template <typename E, typename Cmp>
+inline svbool_t cmp_impl(const svbool_t& pg, const svreg<E>& a, const svreg<E>& b, Cmp cmp,
+                         const char* mnemonic) {
+  record(InsnClass::kCompare, mnemonic, suffix<E>());
+  svbool_t r{};
+  const unsigned n = active_lanes<E>();
+  for (unsigned i = 0; i < n; ++i)
+    set_pred_elem<E>(r, i, pred_elem<E>(pg, i) && cmp(a.lane[i], b.lane[i]));
+  return r;
+}
+}  // namespace detail
+
+template <typename E>
+inline svbool_t svcmpeq(const svbool_t& pg, const svreg<E>& a, const svreg<E>& b) {
+  return detail::cmp_impl<E>(
+      pg, a, b, [](E x, E y) { return x == y; }, "fcmeq p, p/z, z, z");
+}
+
+template <typename E>
+inline svbool_t svcmpne(const svbool_t& pg, const svreg<E>& a, const svreg<E>& b) {
+  return detail::cmp_impl<E>(
+      pg, a, b, [](E x, E y) { return x != y; }, "fcmne p, p/z, z, z");
+}
+
+template <typename E>
+inline svbool_t svcmplt(const svbool_t& pg, const svreg<E>& a, const svreg<E>& b) {
+  return detail::cmp_impl<E>(
+      pg, a, b, [](E x, E y) { return x < y; }, "fcmlt p, p/z, z, z");
+}
+
+template <typename E>
+inline svbool_t svcmpgt(const svbool_t& pg, const svreg<E>& a, const svreg<E>& b) {
+  return detail::cmp_impl<E>(
+      pg, a, b, [](E x, E y) { return x > y; }, "fcmgt p, p/z, z, z");
+}
+
+}  // namespace svelat::sve

@@ -1,0 +1,17 @@
+#include "sve/sve_config.h"
+
+namespace svelat::sve {
+
+namespace detail {
+// Default matches the widest implementation the paper targets in Grid
+// (512 bit); benches and tests override it freely.
+unsigned g_vector_bits = 512;
+}  // namespace detail
+
+void set_vector_length(unsigned bits) {
+  SVELAT_ASSERT_MSG(is_valid_vector_length(bits),
+                    "SVE vector length must be 128..2048 bits in steps of 128");
+  detail::g_vector_bits = bits;
+}
+
+}  // namespace svelat::sve

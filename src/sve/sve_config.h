@@ -1,0 +1,59 @@
+// Runtime vector-length configuration for the SVE simulator.
+//
+// SVE constrains the vector length to 128..2048 bits in multiples of 128;
+// the silicon provider fixes the value (paper Sec. III-B).  The real
+// toolchain the paper used (ArmIE) receives the vector length as a
+// command-line parameter; our equivalent is sve::set_vector_length().
+//
+// The setting is process-global, mirroring hardware: *all* simulated SVE
+// instructions observe the same VL.  Tests that sweep the VL use VLGuard
+// for scoped changes.
+#pragma once
+
+#include <cstddef>
+
+#include "support/assert.h"
+
+namespace svelat::sve {
+
+inline constexpr unsigned kMinVectorBits = 128;
+inline constexpr unsigned kMaxVectorBits = 2048;
+inline constexpr unsigned kVectorBitsStep = 128;
+inline constexpr std::size_t kMaxVectorBytes = kMaxVectorBits / 8;
+
+/// True if bits is a legal SVE vector length (128..2048, multiple of 128).
+constexpr bool is_valid_vector_length(unsigned bits) {
+  return bits >= kMinVectorBits && bits <= kMaxVectorBits && bits % kVectorBitsStep == 0;
+}
+
+namespace detail {
+// Defined in sve_config.cpp; read via the accessors below.
+extern unsigned g_vector_bits;
+}  // namespace detail
+
+/// Set the simulated hardware vector length in bits.  Aborts on invalid VL.
+void set_vector_length(unsigned bits);
+
+/// Current simulated hardware vector length in bits / bytes.
+inline unsigned vector_bits() { return detail::g_vector_bits; }
+inline unsigned vector_bytes() { return detail::g_vector_bits / 8; }
+
+/// Number of lanes of an element type at the current VL.
+template <typename E>
+inline unsigned lanes() {
+  return vector_bytes() / static_cast<unsigned>(sizeof(E));
+}
+
+/// RAII: set the VL for a scope, restore the previous value on exit.
+class VLGuard {
+ public:
+  explicit VLGuard(unsigned bits) : previous_(vector_bits()) { set_vector_length(bits); }
+  ~VLGuard() { set_vector_length(previous_); }
+  VLGuard(const VLGuard&) = delete;
+  VLGuard& operator=(const VLGuard&) = delete;
+
+ private:
+  unsigned previous_;
+};
+
+}  // namespace svelat::sve

@@ -1,0 +1,53 @@
+#include "sve/sve_counters.h"
+
+#include <cstdio>
+
+namespace svelat::sve {
+
+namespace detail {
+thread_local InsnCounters t_counters{};
+}  // namespace detail
+
+const char* insn_class_name(InsnClass c) {
+  switch (c) {
+    case InsnClass::kLoad: return "ld1";
+    case InsnClass::kStore: return "st1";
+    case InsnClass::kStructLoad: return "ld2/3/4";
+    case InsnClass::kStructStore: return "st2/3/4";
+    case InsnClass::kFMul: return "fmul";
+    case InsnClass::kFAddSub: return "fadd/fsub";
+    case InsnClass::kFMla: return "fmla/fmls";
+    case InsnClass::kFCmla: return "fcmla";
+    case InsnClass::kFCadd: return "fcadd";
+    case InsnClass::kFDivSqrt: return "fdiv/fsqrt";
+    case InsnClass::kPermute: return "permute";
+    case InsnClass::kConvert: return "fcvt";
+    case InsnClass::kPredicate: return "predicate";
+    case InsnClass::kReduce: return "reduce";
+    case InsnClass::kDup: return "dup";
+    case InsnClass::kCompare: return "fcmp";
+    case InsnClass::kIntOp: return "int-op";
+    case InsnClass::kCount_: break;
+  }
+  return "?";
+}
+
+void reset_counters() { detail::t_counters = InsnCounters{}; }
+
+std::string InsnCounters::report() const {
+  std::string out;
+  char line[96];
+  for (unsigned i = 0; i < kNumInsnClasses; ++i) {
+    if (count[i] == 0) continue;
+    std::snprintf(line, sizeof(line), "  %-12s %12llu\n",
+                  insn_class_name(static_cast<InsnClass>(i)),
+                  static_cast<unsigned long long>(count[i]));
+    out += line;
+  }
+  std::snprintf(line, sizeof(line), "  %-12s %12llu\n", "total",
+                static_cast<unsigned long long>(total()));
+  out += line;
+  return out;
+}
+
+}  // namespace svelat::sve

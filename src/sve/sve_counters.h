@@ -1,0 +1,111 @@
+// Instruction accounting for the SVE simulator.
+//
+// The paper verified its port under the ArmIE instruction emulator; beyond
+// functional checking, an emulator makes the *dynamic instruction stream*
+// observable.  We reproduce that capability: every simulated SVE intrinsic
+// increments a per-class counter, so benches can report instructions per
+// element -- the architecture-independent cost metric used to compare the
+// complex-arithmetic strategies of Sec. IV and Sec. V-E.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace svelat::sve {
+
+/// Instruction classes tallied by the simulator.
+enum class InsnClass : unsigned {
+  kLoad = 0,     // ld1*, ldnt1*
+  kStore,        // st1*, stnt1*
+  kStructLoad,   // ld2*, ld3*, ld4*
+  kStructStore,  // st2*, st3*, st4*
+  kFMul,         // fmul
+  kFAddSub,      // fadd, fsub, fneg, fabs, fmax, fmin
+  kFMla,         // fmla, fmls, fnmla, fnmls
+  kFCmla,        // fcmla
+  kFCadd,        // fcadd
+  kFDivSqrt,     // fdiv, fsqrt
+  kPermute,      // ext, rev, tbl, zip, uzp, trn, sel
+  kConvert,      // fcvt between precisions
+  kPredicate,    // ptrue, whilelt, pfalse, and/orr/eor/not on predicates
+  kReduce,       // faddv, fmaxv, fminv, cntp
+  kDup,          // dup, index, mov-immediate
+  kCompare,      // fcmeq and friends
+  kIntOp,        // integer add/sub/shift/logical on vectors
+  kCount_,
+};
+
+constexpr unsigned kNumInsnClasses = static_cast<unsigned>(InsnClass::kCount_);
+
+/// Human-readable class name ("fcmla", "ld1", ...).
+const char* insn_class_name(InsnClass c);
+
+/// Snapshot of the per-class instruction tallies.
+struct InsnCounters {
+  std::array<std::uint64_t, kNumInsnClasses> count{};
+
+  std::uint64_t operator[](InsnClass c) const {
+    return count[static_cast<unsigned>(c)];
+  }
+
+  std::uint64_t total() const {
+    std::uint64_t t = 0;
+    for (auto v : count) t += v;
+    return t;
+  }
+
+  /// Total floating-point compute instructions (mul/add/fma/cmla/cadd/div).
+  std::uint64_t flops_insns() const {
+    using C = InsnClass;
+    return (*this)[C::kFMul] + (*this)[C::kFAddSub] + (*this)[C::kFMla] +
+           (*this)[C::kFCmla] + (*this)[C::kFCadd] + (*this)[C::kFDivSqrt];
+  }
+
+  /// Total memory instructions.
+  std::uint64_t memory_insns() const {
+    using C = InsnClass;
+    return (*this)[C::kLoad] + (*this)[C::kStore] + (*this)[C::kStructLoad] +
+           (*this)[C::kStructStore];
+  }
+
+  InsnCounters& operator-=(const InsnCounters& o) {
+    for (unsigned i = 0; i < kNumInsnClasses; ++i) count[i] -= o.count[i];
+    return *this;
+  }
+  friend InsnCounters operator-(InsnCounters a, const InsnCounters& b) {
+    a -= b;
+    return a;
+  }
+
+  /// Multi-line report, one row per non-zero class.
+  std::string report() const;
+};
+
+namespace detail {
+extern thread_local InsnCounters t_counters;
+}  // namespace detail
+
+/// Current tallies of the calling thread.
+inline const InsnCounters& counters() { return detail::t_counters; }
+
+/// Reset tallies of the calling thread to zero.
+void reset_counters();
+
+/// RAII scope: captures the delta of instruction counts during its lifetime.
+class CounterScope {
+ public:
+  CounterScope() : start_(detail::t_counters) {}
+
+  /// Instructions executed since construction.
+  InsnCounters delta() const { return detail::t_counters - start_; }
+
+ private:
+  InsnCounters start_;
+};
+
+namespace detail {
+inline void count(InsnClass c) { ++t_counters.count[static_cast<unsigned>(c)]; }
+}  // namespace detail
+
+}  // namespace svelat::sve

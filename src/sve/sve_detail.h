@@ -1,0 +1,33 @@
+// Internal helpers shared by the intrinsic headers.  Not part of the API.
+#pragma once
+
+#include <cstdint>
+
+#include "sve/sve_counters.h"
+#include "sve/sve_trace.h"
+#include "sve/sve_types.h"
+
+namespace svelat::sve::detail {
+
+/// SVE assembly element-size suffix for a lane type.
+template <typename E>
+constexpr const char* suffix() {
+  if constexpr (sizeof(E) == 8) return "d";
+  if constexpr (sizeof(E) == 4) return "s";
+  if constexpr (sizeof(E) == 2) return "h";
+  return "b";
+}
+
+/// Count one instruction and, if a tracer is installed, log it.
+inline void record(InsnClass c, const char* mnemonic, const char* sfx) {
+  count(c);
+  if (tracing()) trace_line(mnemonic, sfx);
+}
+
+inline void record_imm(InsnClass c, const char* mnemonic, const char* sfx, int imm) {
+  count(c);
+  if (tracing())
+    trace_line_imm(mnemonic, sfx, imm);
+}
+
+}  // namespace svelat::sve::detail

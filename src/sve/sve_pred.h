@@ -1,0 +1,210 @@
+// Predicate-generating and predicate-manipulating intrinsics.
+//
+// SVE's vector-length-agnostic loops are driven by WHILELT (build a
+// predicate covering the remaining elements) and PTRUE (all elements);
+// see the assembly walk-throughs in paper Sec. IV.  Predicates have
+// byte granularity; for an element of width w only the lowest of its w
+// bits participates.
+#pragma once
+
+#include <cstdint>
+
+#include "sve/sve_detail.h"
+
+namespace svelat::sve {
+
+namespace detail {
+
+template <typename E>
+inline svbool_t ptrue_impl() {
+  record(InsnClass::kPredicate, "ptrue p", suffix<E>());
+  svbool_t pg{};
+  const unsigned n = active_lanes<E>();
+  for (unsigned i = 0; i < n; ++i) set_pred_elem<E>(pg, i, true);
+  return pg;
+}
+
+template <typename E>
+inline svbool_t whilelt_impl(std::uint64_t begin, std::uint64_t end) {
+  record(InsnClass::kPredicate, "whilelt p", suffix<E>());
+  svbool_t pg{};
+  const unsigned n = active_lanes<E>();
+  for (unsigned i = 0; i < n; ++i) set_pred_elem<E>(pg, i, begin + i < end);
+  return pg;
+}
+
+template <typename E>
+inline std::uint64_t cntp_impl(const svbool_t& pg, const svbool_t& p) {
+  record(InsnClass::kReduce, "cntp x, p, p", suffix<E>());
+  std::uint64_t n = 0;
+  for (unsigned i = 0; i < active_lanes<E>(); ++i)
+    if (pred_elem<E>(pg, i) && pred_elem<E>(p, i)) ++n;
+  return n;
+}
+
+}  // namespace detail
+
+// --- PTRUE ----------------------------------------------------------------
+inline svbool_t svptrue_b8() { return detail::ptrue_impl<std::uint8_t>(); }
+inline svbool_t svptrue_b16() { return detail::ptrue_impl<std::uint16_t>(); }
+inline svbool_t svptrue_b32() { return detail::ptrue_impl<std::uint32_t>(); }
+inline svbool_t svptrue_b64() { return detail::ptrue_impl<std::uint64_t>(); }
+
+/// Generic form used by templated framework code.
+template <typename E>
+inline svbool_t svptrue() {
+  return detail::ptrue_impl<E>();
+}
+
+inline svbool_t svpfalse_b() {
+  detail::record(InsnClass::kPredicate, "pfalse p", "b");
+  return svbool_t{};
+}
+
+// --- WHILELT ---------------------------------------------------------------
+inline svbool_t svwhilelt_b8(std::uint64_t i, std::uint64_t n) {
+  return detail::whilelt_impl<std::uint8_t>(i, n);
+}
+inline svbool_t svwhilelt_b16(std::uint64_t i, std::uint64_t n) {
+  return detail::whilelt_impl<std::uint16_t>(i, n);
+}
+inline svbool_t svwhilelt_b32(std::uint64_t i, std::uint64_t n) {
+  return detail::whilelt_impl<std::uint32_t>(i, n);
+}
+inline svbool_t svwhilelt_b64(std::uint64_t i, std::uint64_t n) {
+  return detail::whilelt_impl<std::uint64_t>(i, n);
+}
+
+template <typename E>
+inline svbool_t svwhilelt(std::uint64_t i, std::uint64_t n) {
+  return detail::whilelt_impl<E>(i, n);
+}
+
+// --- Element counts (CNTB/CNTH/CNTW/CNTD) ----------------------------------
+inline std::uint64_t svcntb() {
+  detail::record(InsnClass::kPredicate, "cntb x", "");
+  return vector_bytes();
+}
+inline std::uint64_t svcnth() {
+  detail::record(InsnClass::kPredicate, "cnth x", "");
+  return vector_bytes() / 2;
+}
+inline std::uint64_t svcntw() {
+  detail::record(InsnClass::kPredicate, "cntw x", "");
+  return vector_bytes() / 4;
+}
+inline std::uint64_t svcntd() {
+  detail::record(InsnClass::kPredicate, "cntd x", "");
+  return vector_bytes() / 8;
+}
+
+/// Generic lane count for an element type (no instruction equivalent of its
+/// own; maps onto the cnt* family).
+template <typename E>
+inline std::uint64_t svcnt() {
+  detail::record(InsnClass::kPredicate, "cnt x", detail::suffix<E>());
+  return lanes<E>();
+}
+
+// --- CNTP: count active predicate elements ----------------------------------
+inline std::uint64_t svcntp_b8(const svbool_t& pg, const svbool_t& p) {
+  return detail::cntp_impl<std::uint8_t>(pg, p);
+}
+inline std::uint64_t svcntp_b16(const svbool_t& pg, const svbool_t& p) {
+  return detail::cntp_impl<std::uint16_t>(pg, p);
+}
+inline std::uint64_t svcntp_b32(const svbool_t& pg, const svbool_t& p) {
+  return detail::cntp_impl<std::uint32_t>(pg, p);
+}
+inline std::uint64_t svcntp_b64(const svbool_t& pg, const svbool_t& p) {
+  return detail::cntp_impl<std::uint64_t>(pg, p);
+}
+
+// --- Predicate logicals (byte granularity, zeroing) -------------------------
+inline svbool_t svand_b_z(const svbool_t& pg, const svbool_t& a, const svbool_t& b) {
+  detail::record(InsnClass::kPredicate, "and p, p/z, p, p", "b");
+  svbool_t r{};
+  for (unsigned i = 0; i < vector_bytes(); ++i) r.byte[i] = pg.byte[i] && a.byte[i] && b.byte[i];
+  return r;
+}
+
+inline svbool_t svorr_b_z(const svbool_t& pg, const svbool_t& a, const svbool_t& b) {
+  detail::record(InsnClass::kPredicate, "orr p, p/z, p, p", "b");
+  svbool_t r{};
+  for (unsigned i = 0; i < vector_bytes(); ++i) r.byte[i] = pg.byte[i] && (a.byte[i] || b.byte[i]);
+  return r;
+}
+
+inline svbool_t sveor_b_z(const svbool_t& pg, const svbool_t& a, const svbool_t& b) {
+  detail::record(InsnClass::kPredicate, "eor p, p/z, p, p", "b");
+  svbool_t r{};
+  for (unsigned i = 0; i < vector_bytes(); ++i) r.byte[i] = pg.byte[i] && (a.byte[i] != b.byte[i]);
+  return r;
+}
+
+inline svbool_t svnot_b_z(const svbool_t& pg, const svbool_t& a) {
+  detail::record(InsnClass::kPredicate, "not p, p/z, p", "b");
+  svbool_t r{};
+  for (unsigned i = 0; i < vector_bytes(); ++i) r.byte[i] = pg.byte[i] && !a.byte[i];
+  return r;
+}
+
+// --- Predicate tests ---------------------------------------------------------
+inline bool svptest_any(const svbool_t& pg, const svbool_t& p) {
+  detail::record(InsnClass::kPredicate, "ptest", "");
+  for (unsigned i = 0; i < vector_bytes(); ++i)
+    if (pg.byte[i] && p.byte[i]) return true;
+  return false;
+}
+
+inline bool svptest_first(const svbool_t& pg, const svbool_t& p) {
+  detail::record(InsnClass::kPredicate, "ptest", "");
+  for (unsigned i = 0; i < vector_bytes(); ++i)
+    if (pg.byte[i]) return p.byte[i];
+  return false;
+}
+
+// --- Predicate permutes -------------------------------------------------------
+/// TRN1 on predicates: element 2i from a, element 2i+1 from b (both taken
+/// at even positions).  trn1(ptrue, pfalse) yields the "even elements only"
+/// predicate used to negate/accumulate real parts of interleaved complex
+/// data in the real-arithmetic backend (paper Sec. V-E).
+template <typename E>
+inline svbool_t svtrn1_b(const svbool_t& a, const svbool_t& b) {
+  detail::record(InsnClass::kPredicate, "trn1 p, p, p", detail::suffix<E>());
+  svbool_t r{};
+  const unsigned n = detail::active_lanes<E>();
+  for (unsigned i = 0; i < n / 2; ++i) {
+    detail::set_pred_elem<E>(r, 2 * i, detail::pred_elem<E>(a, 2 * i));
+    detail::set_pred_elem<E>(r, 2 * i + 1, detail::pred_elem<E>(b, 2 * i));
+  }
+  return r;
+}
+
+/// TRN2 on predicates: element 2i from a, element 2i+1 from b (both taken
+/// at odd positions).
+template <typename E>
+inline svbool_t svtrn2_b(const svbool_t& a, const svbool_t& b) {
+  detail::record(InsnClass::kPredicate, "trn2 p, p, p", detail::suffix<E>());
+  svbool_t r{};
+  const unsigned n = detail::active_lanes<E>();
+  for (unsigned i = 0; i < n / 2; ++i) {
+    detail::set_pred_elem<E>(r, 2 * i, detail::pred_elem<E>(a, 2 * i + 1));
+    detail::set_pred_elem<E>(r, 2 * i + 1, detail::pred_elem<E>(b, 2 * i + 1));
+  }
+  return r;
+}
+
+/// BRKN: propagate break condition (used by compiler-generated VLA loops,
+/// cf. the Sec. IV-A listing).  Returns b if (pg AND a) has its last active
+/// element true, else all-false.
+inline svbool_t svbrkn_b_z(const svbool_t& pg, const svbool_t& a, const svbool_t& b) {
+  detail::record(InsnClass::kPredicate, "brkn p, p/z, p, p", "b");
+  bool last = false;
+  for (unsigned i = 0; i < vector_bytes(); ++i)
+    if (pg.byte[i]) last = a.byte[i];
+  if (last) return b;
+  return svbool_t{};
+}
+
+}  // namespace svelat::sve

@@ -1,0 +1,63 @@
+#include "sve/sve_trace.h"
+
+#include <cstdio>
+
+namespace svelat::sve {
+
+namespace detail {
+thread_local Tracer* t_tracer = nullptr;
+
+void trace_line(const char* mnemonic, const char* suffix) {
+  if (t_tracer == nullptr) return;
+  std::string line = mnemonic;
+  if (suffix[0] != '\0') {
+    line += '.';
+    line += suffix;
+  }
+  t_tracer->append(std::move(line));
+}
+
+void trace_line_imm(const char* mnemonic, const char* suffix, int imm) {
+  if (t_tracer == nullptr) return;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%s.%s, #%d", mnemonic, suffix, imm);
+  t_tracer->append(buf);
+}
+}  // namespace detail
+
+void set_tracer(Tracer* tracer) { detail::t_tracer = tracer; }
+
+std::string Tracer::listing() const {
+  std::string out;
+  char buf[32];
+  for (std::size_t i = 0; i < lines_.size(); ++i) {
+    std::snprintf(buf, sizeof(buf), "%4zu  ", i + 1);
+    out += buf;
+    out += lines_[i];
+    out += '\n';
+  }
+  return out;
+}
+
+std::string Tracer::folded_listing() const {
+  std::string out;
+  char buf[32];
+  std::size_t i = 0;
+  std::size_t line_no = 1;
+  while (i < lines_.size()) {
+    std::size_t j = i;
+    while (j < lines_.size() && lines_[j] == lines_[i]) ++j;
+    std::snprintf(buf, sizeof(buf), "%4zu  ", line_no++);
+    out += buf;
+    out += lines_[i];
+    if (j - i > 1) {
+      std::snprintf(buf, sizeof(buf), "   (x%zu)", j - i);
+      out += buf;
+    }
+    out += '\n';
+    i = j;
+  }
+  return out;
+}
+
+}  // namespace svelat::sve

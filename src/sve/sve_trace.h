@@ -1,0 +1,53 @@
+// Assembly-style instruction tracing.
+//
+// When a tracer is installed, every simulated intrinsic appends one line
+// rendered like SVE assembly ("fcmla z.d, p/m, z.d, z.d, #90").  The
+// paper's Sec. IV walks through the assembly armclang emits for four
+// kernels; our benches regenerate equivalent listings from the executed
+// intrinsic stream (register allocation is not modeled, so operand names
+// are generic).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace svelat::sve {
+
+class Tracer {
+ public:
+  void clear() { lines_.clear(); }
+  void append(std::string line) { lines_.push_back(std::move(line)); }
+  const std::vector<std::string>& lines() const { return lines_; }
+
+  /// Render the trace as a numbered listing.
+  std::string listing() const;
+
+  /// Collapse consecutive duplicate lines ("fmul z.d ... x4") -- loop bodies
+  /// repeat per iteration; this recovers the static shape of the kernel.
+  std::string folded_listing() const;
+
+ private:
+  std::vector<std::string> lines_;
+};
+
+namespace detail {
+extern thread_local Tracer* t_tracer;
+
+inline bool tracing() { return t_tracer != nullptr; }
+void trace_line(const char* mnemonic, const char* suffix);
+void trace_line_imm(const char* mnemonic, const char* suffix, int imm);
+}  // namespace detail
+
+/// Install (or remove, with nullptr) the calling thread's tracer.
+void set_tracer(Tracer* tracer);
+
+/// RAII: install a tracer for a scope.
+class TraceScope {
+ public:
+  explicit TraceScope(Tracer& tracer) { set_tracer(&tracer); }
+  ~TraceScope() { set_tracer(nullptr); }
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+};
+
+}  // namespace svelat::sve

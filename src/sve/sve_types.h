@@ -1,0 +1,109 @@
+// Register types of the SVE simulator.
+//
+// Hardware SVE registers are "sizeless": their width is only known at run
+// time, so ACLE types may not be class members, sizeof() operands, or
+// statics (paper Sec. III-C).  The simulator backs every register with
+// storage for the architectural maximum (2048 bit) and lets the runtime
+// vector length (sve_config.h) decide how many lanes are architecturally
+// visible.  To preserve the paper's port constraints we treat these types
+// *as if* they were sizeless: framework classes must never hold them as
+// data members -- that is what simd::vec<T> (an ordinary array) is for.
+//
+// Predicate registers hold one bit per *byte* of the vector, exactly like
+// hardware; an element is active iff the bit of its lowest-addressed byte
+// is set.
+#pragma once
+
+#include <cstdint>
+
+#include "support/half.h"
+#include "sve/sve_config.h"
+
+namespace svelat::sve {
+
+// ACLE scalar aliases (ACLE spells them float64_t etc.).
+using float64_t = double;
+using float32_t = float;
+using float16_t = svelat::half;
+
+/// Generic simulated vector register with element type E.
+template <typename E>
+struct svreg {
+  static constexpr unsigned kMaxLanes = static_cast<unsigned>(kMaxVectorBytes / sizeof(E));
+  alignas(64) E lane[kMaxLanes];
+};
+
+using svfloat64_t = svreg<float64_t>;
+using svfloat32_t = svreg<float32_t>;
+using svfloat16_t = svreg<float16_t>;
+using svint32_t = svreg<std::int32_t>;
+using svint64_t = svreg<std::int64_t>;
+using svuint16_t = svreg<std::uint16_t>;
+using svuint32_t = svreg<std::uint32_t>;
+using svuint64_t = svreg<std::uint64_t>;
+
+/// Predicate register: one bit (bool) per byte of the widest vector.
+struct svbool_t {
+  bool byte[kMaxVectorBytes];
+};
+
+/// Tuples returned by structure loads (ACLE svfloat64x2_t and friends).
+template <typename E, unsigned N>
+struct svregx {
+  svreg<E> reg[N];
+};
+
+template <typename E>
+using svregx2 = svregx<E, 2>;
+template <typename E>
+using svregx3 = svregx<E, 3>;
+template <typename E>
+using svregx4 = svregx<E, 4>;
+
+using svfloat64x2_t = svregx<float64_t, 2>;
+using svfloat64x3_t = svregx<float64_t, 3>;
+using svfloat64x4_t = svregx<float64_t, 4>;
+using svfloat32x2_t = svregx<float32_t, 2>;
+using svfloat32x3_t = svregx<float32_t, 3>;
+using svfloat32x4_t = svregx<float32_t, 4>;
+using svfloat16x2_t = svregx<float16_t, 2>;
+
+/// ACLE tuple accessors.
+template <typename E, unsigned N>
+inline svreg<E> svget2(const svregx<E, N>& t, unsigned idx) {
+  SVELAT_DEBUG_ASSERT(idx < N);
+  return t.reg[idx];
+}
+
+namespace detail {
+
+/// Number of architecturally visible lanes for E at the current VL.
+template <typename E>
+inline unsigned active_lanes() {
+  return lanes<E>();
+}
+
+/// Is element i of type E active under predicate pg?
+template <typename E>
+inline bool pred_elem(const svbool_t& pg, unsigned i) {
+  return pg.byte[i * sizeof(E)];
+}
+
+/// Set element i of type E in pg (only the lowest byte matters, but we set
+/// the whole element's byte range the way PTRUE/WHILELT do).
+template <typename E>
+inline void set_pred_elem(svbool_t& pg, unsigned i, bool value) {
+  pg.byte[i * sizeof(E)] = value;
+  for (unsigned b = 1; b < sizeof(E); ++b) pg.byte[i * sizeof(E) + b] = false;
+}
+
+/// Zero all lanes above the current VL so stale max-width storage can never
+/// leak into results (hardware would simply not have those lanes).
+template <typename E>
+inline void clear_inactive_storage(svreg<E>& r, unsigned from_lane) {
+  for (unsigned i = from_lane; i < svreg<E>::kMaxLanes; ++i) r.lane[i] = E{};
+}
+
+}  // namespace detail
+
+}  // namespace svelat::sve

@@ -1,0 +1,87 @@
+// Lane extraction / insertion: conversion between vectorized site objects
+// (tensors over SimdComplex) and scalar site objects (tensors over
+// std::complex) for one SIMD lane.
+//
+// This is how the lattice container implements peek/poke by *global*
+// coordinate: locate (outer site, lane), then project the vector object
+// onto that lane.  It is also the glue for layout-independent RNG fills
+// and for cross-VL bit-identity checks (paper Sec. V-D).
+#pragma once
+
+#include <complex>
+
+#include "simd/simd_complex.h"
+#include "tensor/tensor.h"
+
+namespace svelat::tensor {
+
+/// Scalar counterpart of a vectorized tensor nesting.
+template <typename V>
+struct scalar_object {
+  using type = V;  // base case handled by the SimdComplex specialization
+};
+template <typename T, std::size_t VLB, typename P>
+struct scalar_object<simd::SimdComplex<T, VLB, P>> {
+  using type = std::complex<T>;
+};
+template <class T>
+struct scalar_object<iScalar<T>> {
+  using type = iScalar<typename scalar_object<T>::type>;
+};
+template <class T, int N>
+struct scalar_object<iVector<T, N>> {
+  using type = iVector<typename scalar_object<T>::type, N>;
+};
+template <class T, int N>
+struct scalar_object<iMatrix<T, N>> {
+  using type = iMatrix<typename scalar_object<T>::type, N>;
+};
+template <typename V>
+using scalar_object_t = typename scalar_object<V>::type;
+
+// --- peek_lane -----------------------------------------------------------------
+template <typename T, std::size_t VLB, typename P>
+inline std::complex<T> peek_lane(const simd::SimdComplex<T, VLB, P>& v, unsigned lane) {
+  return v.lane(lane);
+}
+template <class T>
+inline auto peek_lane(const iScalar<T>& v, unsigned lane) {
+  iScalar<decltype(peek_lane(v._internal, lane))> r;
+  r._internal = peek_lane(v._internal, lane);
+  return r;
+}
+template <class T, int N>
+inline auto peek_lane(const iVector<T, N>& v, unsigned lane) {
+  iVector<decltype(peek_lane(v._internal[0], lane)), N> r;
+  for (int i = 0; i < N; ++i) r._internal[i] = peek_lane(v._internal[i], lane);
+  return r;
+}
+template <class T, int N>
+inline auto peek_lane(const iMatrix<T, N>& v, unsigned lane) {
+  iMatrix<decltype(peek_lane(v._internal[0][0], lane)), N> r;
+  for (int i = 0; i < N; ++i)
+    for (int j = 0; j < N; ++j) r._internal[i][j] = peek_lane(v._internal[i][j], lane);
+  return r;
+}
+
+// --- poke_lane -----------------------------------------------------------------
+template <typename T, std::size_t VLB, typename P>
+inline void poke_lane(simd::SimdComplex<T, VLB, P>& v, unsigned lane,
+                      const std::complex<T>& s) {
+  v.set_lane(lane, s);
+}
+template <class T, class S>
+inline void poke_lane(iScalar<T>& v, unsigned lane, const iScalar<S>& s) {
+  poke_lane(v._internal, lane, s._internal);
+}
+template <class T, class S, int N>
+inline void poke_lane(iVector<T, N>& v, unsigned lane, const iVector<S, N>& s) {
+  for (int i = 0; i < N; ++i) poke_lane(v._internal[i], lane, s._internal[i]);
+}
+template <class T, class S, int N>
+inline void poke_lane(iMatrix<T, N>& v, unsigned lane, const iMatrix<S, N>& s) {
+  for (int i = 0; i < N; ++i)
+    for (int j = 0; j < N; ++j) poke_lane(v._internal[i][j], lane, s._internal[i][j]);
+}
+
+}  // namespace svelat::tensor

@@ -1,0 +1,456 @@
+// Nested tensor templates: the internal index structure of lattice fields.
+//
+// A lattice QCD site object carries colour indices a = 1..3 and spinor
+// indices i = 1..4 (paper Sec. II-A).  Following Grid, site objects are
+// built by nesting small tensor templates around a SIMD scalar:
+//
+//   gauge link   : iMatrix<S, 3>                 (SU(3) colour matrix)
+//   half spinor  : iVector<iVector<S, 3>, 2>     (2 spins x 3 colours)
+//   fermion site : iVector<iVector<S, 3>, 4>     (4 spins x 3 colours)
+//
+// where S is a SimdComplex (or plain std::complex in reference code).
+// Arithmetic recurses through the nesting; the innermost operations land on
+// the SIMD abstraction layer, so every tensor expression vectorizes over
+// virtual nodes (paper Fig. 1).
+#pragma once
+
+#include <complex>
+#include <type_traits>
+
+#include "simd/simd_complex.h"
+
+namespace svelat::tensor {
+
+// ---------------------------------------------------------------------------
+// Base-case scalar operations.  SimdComplex brings its own via friends;
+// std::complex needs shims so reference (scalar) tensors work identically.
+// ---------------------------------------------------------------------------
+template <typename T>
+inline std::complex<T> conjugate(const std::complex<T>& z) {
+  return std::conj(z);
+}
+template <typename T>
+inline std::complex<T> timesI(const std::complex<T>& z) {
+  return {-z.imag(), z.real()};
+}
+template <typename T>
+inline std::complex<T> timesMinusI(const std::complex<T>& z) {
+  return {z.imag(), -z.real()};
+}
+
+/// adj of a scalar is plain conjugation.
+template <typename T>
+inline std::complex<T> adj(const std::complex<T>& z) {
+  return std::conj(z);
+}
+template <typename T, std::size_t VLB, typename P>
+inline simd::SimdComplex<T, VLB, P> adj(const simd::SimdComplex<T, VLB, P>& z) {
+  return conjugate(z);
+}
+
+/// zeroit: assign additive identity (SimdComplex default-ctor is trivial).
+template <typename T>
+inline void zeroit(std::complex<T>& z) {
+  z = {};
+}
+template <typename T, std::size_t VLB, typename P>
+inline void zeroit(simd::SimdComplex<T, VLB, P>& z) {
+  z = simd::SimdComplex<T, VLB, P>::zero();
+}
+
+/// mac: r += a * b, fused where the backend allows (FCMLA).
+template <typename T>
+inline void mac(std::complex<T>& r, const std::complex<T>& a, const std::complex<T>& b) {
+  r += a * b;
+}
+template <typename T, std::size_t VLB, typename P>
+inline void mac(simd::SimdComplex<T, VLB, P>& r, const simd::SimdComplex<T, VLB, P>& a,
+                const simd::SimdComplex<T, VLB, P>& b) {
+  r.mac(a, b);
+}
+
+/// mac_conj: r += conj(a) * b.
+template <typename T>
+inline void mac_conj(std::complex<T>& r, const std::complex<T>& a,
+                     const std::complex<T>& b) {
+  r += std::conj(a) * b;
+}
+template <typename T, std::size_t VLB, typename P>
+inline void mac_conj(simd::SimdComplex<T, VLB, P>& r, const simd::SimdComplex<T, VLB, P>& a,
+                     const simd::SimdComplex<T, VLB, P>& b) {
+  r.mac_conj(a, b);
+}
+
+/// innerProduct of scalars: conj(a) * b.
+template <typename T>
+inline std::complex<T> innerProduct(const std::complex<T>& a, const std::complex<T>& b) {
+  return std::conj(a) * b;
+}
+template <typename T, std::size_t VLB, typename P>
+inline simd::SimdComplex<T, VLB, P> innerProduct(const simd::SimdComplex<T, VLB, P>& a,
+                                                 const simd::SimdComplex<T, VLB, P>& b) {
+  return mult_conj(a, b);
+}
+
+// ---------------------------------------------------------------------------
+// Tensor class templates.
+// ---------------------------------------------------------------------------
+template <class T>
+class iScalar;
+template <class T, int N>
+class iVector;
+template <class T, int N>
+class iMatrix;
+
+template <typename T>
+struct is_tensor : std::false_type {};
+template <class T>
+struct is_tensor<iScalar<T>> : std::true_type {};
+template <class T, int N>
+struct is_tensor<iVector<T, N>> : std::true_type {};
+template <class T, int N>
+struct is_tensor<iMatrix<T, N>> : std::true_type {};
+template <typename T>
+inline constexpr bool is_tensor_v = is_tensor<T>::value;
+
+/// Innermost (SIMD or std::complex) scalar type of a nesting.
+template <typename T>
+struct scalar_element {
+  using type = T;
+};
+template <class T>
+struct scalar_element<iScalar<T>> : scalar_element<T> {};
+template <class T, int N>
+struct scalar_element<iVector<T, N>> : scalar_element<T> {};
+template <class T, int N>
+struct scalar_element<iMatrix<T, N>> : scalar_element<T> {};
+template <typename T>
+using scalar_element_t = typename scalar_element<T>::type;
+
+// --- iScalar -----------------------------------------------------------------
+template <class T>
+class iScalar {
+ public:
+  T _internal;
+
+  iScalar() = default;
+  explicit iScalar(const T& v) : _internal(v) {}
+
+  T& operator()() { return _internal; }
+  const T& operator()() const { return _internal; }
+
+  friend iScalar operator+(const iScalar& a, const iScalar& b) {
+    return iScalar(a._internal + b._internal);
+  }
+  friend iScalar operator-(const iScalar& a, const iScalar& b) {
+    return iScalar(a._internal - b._internal);
+  }
+  friend iScalar operator-(const iScalar& a) { return iScalar(-a._internal); }
+  friend iScalar operator*(const iScalar& a, const iScalar& b) {
+    return iScalar(a._internal * b._internal);
+  }
+  iScalar& operator+=(const iScalar& o) { _internal = _internal + o._internal; return *this; }
+  iScalar& operator-=(const iScalar& o) { _internal = _internal - o._internal; return *this; }
+
+  friend bool operator==(const iScalar& a, const iScalar& b) {
+    return a._internal == b._internal;
+  }
+};
+
+// --- iVector -----------------------------------------------------------------
+template <class T, int N>
+class iVector {
+ public:
+  T _internal[N];
+
+  static constexpr int size = N;
+
+  T& operator()(int i) { return _internal[i]; }
+  const T& operator()(int i) const { return _internal[i]; }
+
+  friend iVector operator+(const iVector& a, const iVector& b) {
+    iVector r;
+    for (int i = 0; i < N; ++i) r._internal[i] = a._internal[i] + b._internal[i];
+    return r;
+  }
+  friend iVector operator-(const iVector& a, const iVector& b) {
+    iVector r;
+    for (int i = 0; i < N; ++i) r._internal[i] = a._internal[i] - b._internal[i];
+    return r;
+  }
+  friend iVector operator-(const iVector& a) {
+    iVector r;
+    for (int i = 0; i < N; ++i) r._internal[i] = -a._internal[i];
+    return r;
+  }
+  iVector& operator+=(const iVector& o) {
+    for (int i = 0; i < N; ++i) _internal[i] = _internal[i] + o._internal[i];
+    return *this;
+  }
+  iVector& operator-=(const iVector& o) {
+    for (int i = 0; i < N; ++i) _internal[i] = _internal[i] - o._internal[i];
+    return *this;
+  }
+
+  friend bool operator==(const iVector& a, const iVector& b) {
+    for (int i = 0; i < N; ++i)
+      if (!(a._internal[i] == b._internal[i])) return false;
+    return true;
+  }
+};
+
+// --- iMatrix -----------------------------------------------------------------
+template <class T, int N>
+class iMatrix {
+ public:
+  T _internal[N][N];
+
+  static constexpr int size = N;
+
+  T& operator()(int i, int j) { return _internal[i][j]; }
+  const T& operator()(int i, int j) const { return _internal[i][j]; }
+
+  friend iMatrix operator+(const iMatrix& a, const iMatrix& b) {
+    iMatrix r;
+    for (int i = 0; i < N; ++i)
+      for (int j = 0; j < N; ++j) r._internal[i][j] = a._internal[i][j] + b._internal[i][j];
+    return r;
+  }
+  friend iMatrix operator-(const iMatrix& a, const iMatrix& b) {
+    iMatrix r;
+    for (int i = 0; i < N; ++i)
+      for (int j = 0; j < N; ++j) r._internal[i][j] = a._internal[i][j] - b._internal[i][j];
+    return r;
+  }
+  friend iMatrix operator-(const iMatrix& a) {
+    iMatrix r;
+    for (int i = 0; i < N; ++i)
+      for (int j = 0; j < N; ++j) r._internal[i][j] = -a._internal[i][j];
+    return r;
+  }
+  iMatrix& operator+=(const iMatrix& o) {
+    for (int i = 0; i < N; ++i)
+      for (int j = 0; j < N; ++j) _internal[i][j] = _internal[i][j] + o._internal[i][j];
+    return *this;
+  }
+
+  friend bool operator==(const iMatrix& a, const iMatrix& b) {
+    for (int i = 0; i < N; ++i)
+      for (int j = 0; j < N; ++j)
+        if (!(a._internal[i][j] == b._internal[i][j])) return false;
+    return true;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Recursion: zeroit / mac / conjugate / timesI / adj / innerProduct.
+// ---------------------------------------------------------------------------
+template <class T>
+inline void zeroit(iScalar<T>& t) {
+  zeroit(t._internal);
+}
+template <class T, int N>
+inline void zeroit(iVector<T, N>& t) {
+  for (int i = 0; i < N; ++i) zeroit(t._internal[i]);
+}
+template <class T, int N>
+inline void zeroit(iMatrix<T, N>& t) {
+  for (int i = 0; i < N; ++i)
+    for (int j = 0; j < N; ++j) zeroit(t._internal[i][j]);
+}
+
+/// Zero-initialized tensor of type T.
+template <class T>
+inline T Zero() {
+  T t;
+  zeroit(t);
+  return t;
+}
+
+template <class T>
+inline iScalar<T> conjugate(const iScalar<T>& t) {
+  return iScalar<T>(conjugate(t._internal));
+}
+template <class T, int N>
+inline iVector<T, N> conjugate(const iVector<T, N>& t) {
+  iVector<T, N> r;
+  for (int i = 0; i < N; ++i) r._internal[i] = conjugate(t._internal[i]);
+  return r;
+}
+template <class T, int N>
+inline iMatrix<T, N> conjugate(const iMatrix<T, N>& t) {
+  iMatrix<T, N> r;
+  for (int i = 0; i < N; ++i)
+    for (int j = 0; j < N; ++j) r._internal[i][j] = conjugate(t._internal[i][j]);
+  return r;
+}
+
+template <class T>
+inline iScalar<T> timesI(const iScalar<T>& t) {
+  return iScalar<T>(timesI(t._internal));
+}
+template <class T, int N>
+inline iVector<T, N> timesI(const iVector<T, N>& t) {
+  iVector<T, N> r;
+  for (int i = 0; i < N; ++i) r._internal[i] = timesI(t._internal[i]);
+  return r;
+}
+template <class T, int N>
+inline iMatrix<T, N> timesI(const iMatrix<T, N>& t) {
+  iMatrix<T, N> r;
+  for (int i = 0; i < N; ++i)
+    for (int j = 0; j < N; ++j) r._internal[i][j] = timesI(t._internal[i][j]);
+  return r;
+}
+
+template <class T>
+inline iScalar<T> timesMinusI(const iScalar<T>& t) {
+  return iScalar<T>(timesMinusI(t._internal));
+}
+template <class T, int N>
+inline iVector<T, N> timesMinusI(const iVector<T, N>& t) {
+  iVector<T, N> r;
+  for (int i = 0; i < N; ++i) r._internal[i] = timesMinusI(t._internal[i]);
+  return r;
+}
+template <class T, int N>
+inline iMatrix<T, N> timesMinusI(const iMatrix<T, N>& t) {
+  iMatrix<T, N> r;
+  for (int i = 0; i < N; ++i)
+    for (int j = 0; j < N; ++j) r._internal[i][j] = timesMinusI(t._internal[i][j]);
+  return r;
+}
+
+/// adj: conjugate transpose.  Vectors conjugate element-wise; matrices also
+/// transpose (Grid semantics).
+template <class T>
+inline iScalar<T> adj(const iScalar<T>& t) {
+  return iScalar<T>(adj(t._internal));
+}
+template <class T, int N>
+inline iVector<T, N> adj(const iVector<T, N>& t) {
+  iVector<T, N> r;
+  for (int i = 0; i < N; ++i) r._internal[i] = adj(t._internal[i]);
+  return r;
+}
+template <class T, int N>
+inline iMatrix<T, N> adj(const iMatrix<T, N>& t) {
+  iMatrix<T, N> r;
+  for (int i = 0; i < N; ++i)
+    for (int j = 0; j < N; ++j) r._internal[i][j] = adj(t._internal[j][i]);
+  return r;
+}
+
+/// transpose (no conjugation) of the outermost matrix index.
+template <class T, int N>
+inline iMatrix<T, N> transpose(const iMatrix<T, N>& t) {
+  iMatrix<T, N> r;
+  for (int i = 0; i < N; ++i)
+    for (int j = 0; j < N; ++j) r._internal[i][j] = t._internal[j][i];
+  return r;
+}
+
+/// trace of the outermost matrix index.
+template <class T, int N>
+inline T trace(const iMatrix<T, N>& t) {
+  T r = t._internal[0][0];
+  for (int i = 1; i < N; ++i) r = r + t._internal[i][i];
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Products.
+// ---------------------------------------------------------------------------
+/// matrix * vector (same inner type).
+template <class T, int N>
+inline iVector<T, N> operator*(const iMatrix<T, N>& m, const iVector<T, N>& v) {
+  iVector<T, N> r;
+  for (int i = 0; i < N; ++i) {
+    T acc;
+    zeroit(acc);
+    for (int j = 0; j < N; ++j) mac(acc, m._internal[i][j], v._internal[j]);
+    r._internal[i] = acc;
+  }
+  return r;
+}
+
+/// matrix * matrix.
+template <class T, int N>
+inline iMatrix<T, N> operator*(const iMatrix<T, N>& a, const iMatrix<T, N>& b) {
+  iMatrix<T, N> r;
+  for (int i = 0; i < N; ++i) {
+    for (int j = 0; j < N; ++j) {
+      T acc;
+      zeroit(acc);
+      for (int k = 0; k < N; ++k) mac(acc, a._internal[i][k], b._internal[k][j]);
+      r._internal[i][j] = acc;
+    }
+  }
+  return r;
+}
+
+/// adj(m) * v without materializing adj(m): the U-dagger hop of Eq. (1).
+template <class T, int N>
+inline iVector<T, N> adj_mul(const iMatrix<T, N>& m, const iVector<T, N>& v) {
+  iVector<T, N> r;
+  for (int i = 0; i < N; ++i) {
+    T acc;
+    zeroit(acc);
+    for (int j = 0; j < N; ++j) mac_conj(acc, m._internal[j][i], v._internal[j]);
+    r._internal[i] = acc;
+  }
+  return r;
+}
+
+// Scalar-coefficient products (coefficient = innermost scalar type or a
+// value convertible to it, e.g. std::complex<double> onto SimdComplex).
+template <class T, int N, typename S>
+  requires(!is_tensor_v<S>)
+inline iVector<T, N> operator*(const S& s, const iVector<T, N>& v) {
+  iVector<T, N> r;
+  for (int i = 0; i < N; ++i) r._internal[i] = s * v._internal[i];
+  return r;
+}
+template <class T, int N, typename S>
+  requires(!is_tensor_v<S>)
+inline iMatrix<T, N> operator*(const S& s, const iMatrix<T, N>& m) {
+  iMatrix<T, N> r;
+  for (int i = 0; i < N; ++i)
+    for (int j = 0; j < N; ++j) r._internal[i][j] = s * m._internal[i][j];
+  return r;
+}
+template <class T, typename S>
+  requires(!is_tensor_v<S>)
+inline iScalar<T> operator*(const S& s, const iScalar<T>& t) {
+  return iScalar<T>(s * t._internal);
+}
+
+// Multiplication of nested vectors by a scalar on the *inner* level is
+// covered by the recursion: S multiplies T via the overloads above when T
+// is itself a tensor.
+
+// ---------------------------------------------------------------------------
+// Inner products.
+// ---------------------------------------------------------------------------
+template <class T>
+inline auto innerProduct(const iScalar<T>& a, const iScalar<T>& b) {
+  return innerProduct(a._internal, b._internal);
+}
+template <class T, int N>
+inline auto innerProduct(const iVector<T, N>& a, const iVector<T, N>& b) {
+  auto r = innerProduct(a._internal[0], b._internal[0]);
+  for (int i = 1; i < N; ++i) r = r + innerProduct(a._internal[i], b._internal[i]);
+  return r;
+}
+template <class T, int N>
+inline auto innerProduct(const iMatrix<T, N>& a, const iMatrix<T, N>& b) {
+  auto r = innerProduct(a._internal[0][0], b._internal[0][0]);
+  for (int i = 0; i < N; ++i)
+    for (int j = 0; j < N; ++j) {
+      if (i == 0 && j == 0) continue;
+      r = r + innerProduct(a._internal[i][j], b._internal[i][j]);
+    }
+  return r;
+}
+
+}  // namespace svelat::tensor

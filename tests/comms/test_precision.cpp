@@ -1,0 +1,104 @@
+// Buffer precision-conversion pipelines (FCVT + UZP/ZIP idiom) across
+// vector lengths and awkward buffer sizes.
+#include "comms/precision.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "sve/sve.h"
+
+namespace svelat::comms {
+namespace {
+
+class PrecisionTest : public ::testing::TestWithParam<unsigned> {
+ protected:
+  void SetUp() override { sve::set_vector_length(GetParam()); }
+  void TearDown() override { sve::set_vector_length(512); }
+};
+
+std::vector<double> data(std::size_t n) {
+  std::vector<double> v(n);
+  for (std::size_t i = 0; i < n; ++i)
+    v[i] = 0.125 * static_cast<double>(i % 61) - 3.5;  // exactly representable in f16
+  return v;
+}
+
+std::vector<std::size_t> sizes() {
+  // Deliberately not multiples of any vector length: exercises the
+  // predicated tails of the VLA loops.
+  return {1, 2, 3, 7, 16, 33, 100, 257};
+}
+
+TEST_P(PrecisionTest, F64F32RoundtripExact) {
+  for (std::size_t n : sizes()) {
+    const auto in = data(n);
+    std::vector<float> mid(n, -1.0f);
+    std::vector<double> out(n, -1.0);
+    narrow_f64_f32(in.data(), mid.data(), n);
+    widen_f32_f64(mid.data(), out.data(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(mid[i], static_cast<float>(in[i])) << n << ":" << i;
+      EXPECT_EQ(out[i], in[i]) << n << ":" << i;
+    }
+  }
+}
+
+TEST_P(PrecisionTest, F32F16RoundtripExact) {
+  for (std::size_t n : sizes()) {
+    const auto src = data(n);
+    std::vector<float> in(n);
+    for (std::size_t i = 0; i < n; ++i) in[i] = static_cast<float>(src[i]);
+    std::vector<half> mid(n);
+    std::vector<float> out(n, -1.0f);
+    narrow_f32_f16(in.data(), mid.data(), n);
+    widen_f16_f32(mid.data(), out.data(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(float(mid[i]), in[i]) << n << ":" << i;  // values chosen f16-exact
+      EXPECT_EQ(out[i], in[i]) << n << ":" << i;
+    }
+  }
+}
+
+TEST_P(PrecisionTest, F64F16RoundtripExact) {
+  for (std::size_t n : sizes()) {
+    const auto in = data(n);
+    std::vector<half> mid(n);
+    std::vector<double> out(n, -1.0);
+    narrow_f64_f16(in.data(), mid.data(), n);
+    widen_f16_f64(mid.data(), out.data(), n);
+    for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(out[i], in[i]) << n << ":" << i;
+  }
+}
+
+TEST_P(PrecisionTest, F16RoundsNonRepresentable) {
+  const std::size_t n = 37;
+  std::vector<double> in(n);
+  for (std::size_t i = 0; i < n; ++i) in[i] = 0.1 * static_cast<double>(i + 1);
+  std::vector<half> mid(n);
+  std::vector<double> out(n);
+  narrow_f64_f16(in.data(), mid.data(), n);
+  widen_f16_f64(mid.data(), out.data(), n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Relative error bounded by half's epsilon.
+    EXPECT_NEAR(out[i], in[i], std::abs(in[i]) * 0x1.0p-10) << i;
+    // And matches the scalar half conversion exactly.
+    EXPECT_EQ(out[i], static_cast<double>(static_cast<float>(half(static_cast<float>(in[i])))))
+        << i;
+  }
+}
+
+TEST_P(PrecisionTest, NarrowDoesNotWritePastEnd) {
+  const std::size_t n = 5;
+  const auto in = data(n);
+  std::vector<float> mid(n + 8, 99.0f);
+  narrow_f64_f32(in.data(), mid.data(), n);
+  for (std::size_t i = n; i < mid.size(); ++i) EXPECT_EQ(mid[i], 99.0f) << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllVL, PrecisionTest,
+                         ::testing::Values(128u, 256u, 384u, 512u, 1024u, 2048u));
+
+}  // namespace
+}  // namespace svelat::comms

@@ -1,0 +1,71 @@
+// The Sec. V-D verification harness itself: 40 checks, all passing for
+// every (VL, backend) the framework ports (unlike the paper's runs, where
+// a few tests failed due to the immature 2018 toolchain -- our simulator
+// substitute has no such bugs, documented in EXPERIMENTS.md).
+#include "core/verification.h"
+
+#include <gtest/gtest.h>
+
+#include "core/config.h"
+#include "core/ports.h"
+
+namespace svelat::core {
+namespace {
+
+TEST(Verification, BatteryHas40Checks) {
+  EXPECT_EQ(check_names().size(), kNumChecks);
+  // Names are unique.
+  auto names = check_names();
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ(std::unique(names.begin(), names.end()), names.end());
+}
+
+TEST(Verification, AllChecksPass512Fcmla) {
+  const auto report = run_verification(512, simd::Backend::kSveFcmla);
+  EXPECT_TRUE(report.all_passed()) << format_report(report, true);
+  EXPECT_EQ(report.total(), kNumChecks);
+}
+
+TEST(Verification, AllChecksPass256Real) {
+  const auto report = run_verification(256, simd::Backend::kSveReal);
+  EXPECT_TRUE(report.all_passed()) << format_report(report, true);
+}
+
+TEST(Verification, AllChecksPass128Generic) {
+  const auto report = run_verification(128, simd::Backend::kGeneric);
+  EXPECT_TRUE(report.all_passed()) << format_report(report, true);
+}
+
+TEST(Verification, ReportFormatting) {
+  const auto report = run_verification(128, simd::Backend::kSveFcmla);
+  const std::string brief = format_report(report, false);
+  EXPECT_NE(brief.find("128"), std::string::npos);
+  EXPECT_NE(brief.find("sve-fcmla"), std::string::npos);
+  const std::string verbose = format_report(report, true);
+  EXPECT_NE(verbose.find("dhop_vs_reference"), std::string::npos);
+  EXPECT_NE(verbose.find("PASS"), std::string::npos);
+}
+
+TEST(Verification, RejectsUnsupportedVL) {
+  EXPECT_DEATH((void)run_verification(1024, simd::Backend::kGeneric), "128/256/512");
+}
+
+TEST(Ports, TableListsGridAndSvelatPorts) {
+  EXPECT_EQ(grid_table1_ports().size(), 6u);  // the six rows of Table I
+  EXPECT_GE(svelat_ports().size(), 3u);
+  const std::string table = ports_table();
+  EXPECT_NE(table.find("AVX-512"), std::string::npos);
+  EXPECT_NE(table.find("SVE"), std::string::npos);
+  EXPECT_NE(table.find("generic"), std::string::npos);
+  for (const auto& p : svelat_ports()) EXPECT_TRUE(p.implemented_here);
+  for (const auto& p : grid_table1_ports()) EXPECT_FALSE(p.implemented_here);
+}
+
+TEST(Config, RuntimeSummaryMentionsVL) {
+  const std::string s = runtime_summary();
+  EXPECT_NE(s.find("svelat"), std::string::npos);
+  EXPECT_NE(s.find("vector length"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace svelat::core

@@ -1,0 +1,132 @@
+// GridCartesian layout tests: the Fig. 1 virtual-node decomposition.
+#include "lattice/cartesian.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace svelat::lattice {
+namespace {
+
+TEST(Cartesian, DefaultSimdLayoutSpreadsFromLastDim) {
+  EXPECT_EQ(GridCartesian::default_simd_layout(1), (Coordinate{1, 1, 1, 1}));
+  EXPECT_EQ(GridCartesian::default_simd_layout(2), (Coordinate{1, 1, 1, 2}));
+  EXPECT_EQ(GridCartesian::default_simd_layout(4), (Coordinate{1, 1, 2, 2}));
+  EXPECT_EQ(GridCartesian::default_simd_layout(8), (Coordinate{1, 2, 2, 2}));
+  EXPECT_EQ(GridCartesian::default_simd_layout(16), (Coordinate{2, 2, 2, 2}));
+}
+
+TEST(Cartesian, SiteCounts) {
+  const GridCartesian g({8, 8, 8, 16}, {1, 1, 2, 2});
+  EXPECT_EQ(g.gsites(), 8 * 8 * 8 * 16);
+  EXPECT_EQ(g.isites(), 4u);
+  EXPECT_EQ(g.osites(), g.gsites() / 4);
+  EXPECT_EQ(g.rdimensions(), (Coordinate{8, 8, 4, 8}));
+}
+
+TEST(Cartesian, CoordinateMappingBijective) {
+  const GridCartesian g({4, 4, 4, 8}, {1, 1, 2, 2});
+  std::set<std::pair<std::int64_t, unsigned>> seen;
+  for (int x = 0; x < 4; ++x)
+    for (int y = 0; y < 4; ++y)
+      for (int z = 0; z < 4; ++z)
+        for (int t = 0; t < 8; ++t) {
+          const Coordinate c{x, y, z, t};
+          const std::int64_t o = g.outer_index(c);
+          const unsigned l = g.inner_index(c);
+          EXPECT_GE(o, 0);
+          EXPECT_LT(o, g.osites());
+          EXPECT_LT(l, g.isites());
+          EXPECT_TRUE(seen.emplace(o, l).second) << "duplicate (o,l)";
+          EXPECT_EQ(g.global_coor(o, l), c);  // roundtrip
+        }
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(g.gsites()));
+}
+
+TEST(Cartesian, VirtualNodesAreContiguousBlocks) {
+  // Fig. 1: virtual node l covers the block [l*rdim, (l+1)*rdim) in each
+  // decomposed dimension.
+  const GridCartesian g({4, 4, 4, 4}, {1, 1, 2, 2});
+  for (int z = 0; z < 4; ++z)
+    for (int t = 0; t < 4; ++t) {
+      const unsigned lane = g.inner_index({0, 0, z, t});
+      const unsigned expect = static_cast<unsigned>((z / 2) + 2 * (t / 2));
+      EXPECT_EQ(lane, expect) << z << "," << t;
+    }
+}
+
+TEST(Cartesian, InteriorNeighbourNoPermute) {
+  const GridCartesian g({4, 4, 4, 4}, {1, 1, 2, 2});
+  // Site with all outer coords in the block interior.
+  const Coordinate c{1, 1, 0, 0};
+  const std::int64_t o = g.outer_index(c);
+  const auto n = g.neighbour(o, 0, +1);
+  EXPECT_EQ(n.permute, 0u);
+  EXPECT_EQ(n.osite, g.outer_index({2, 1, 0, 0}));
+}
+
+TEST(Cartesian, BoundaryCrossingRequiresPermute) {
+  const GridCartesian g({4, 4, 4, 4}, {1, 1, 2, 2});
+  // rdims = {4,4,2,2}: outer z=1 is the block edge in dim 2.
+  const Coordinate c{0, 0, 1, 0};
+  const std::int64_t o = g.outer_index(c);
+  const auto n = g.neighbour(o, 2, +1);
+  EXPECT_EQ(n.permute, g.permute_distance(2));
+  EXPECT_NE(n.permute, 0u);
+  EXPECT_EQ(n.osite, g.outer_index({0, 0, 0, 0}));  // wraps within the block
+}
+
+TEST(Cartesian, PermuteDistancesAreLaneStrides) {
+  const GridCartesian g({4, 4, 4, 4}, {1, 1, 2, 2});
+  EXPECT_EQ(g.permute_distance(0), 0u);
+  EXPECT_EQ(g.permute_distance(1), 0u);
+  EXPECT_EQ(g.permute_distance(2), 1u);  // dim 2 is the fastest decomposed dim
+  EXPECT_EQ(g.permute_distance(3), 2u);
+  const GridCartesian g8({4, 4, 4, 4}, {1, 2, 2, 2});
+  EXPECT_EQ(g8.permute_distance(1), 1u);
+  EXPECT_EQ(g8.permute_distance(2), 2u);
+  EXPECT_EQ(g8.permute_distance(3), 4u);
+}
+
+TEST(Cartesian, UndecomposedDimWrapsWithoutPermute) {
+  const GridCartesian g({4, 4, 4, 4}, {1, 1, 2, 2});
+  const Coordinate c{3, 0, 0, 0};
+  const std::int64_t o = g.outer_index(c);
+  const auto n = g.neighbour(o, 0, +1);
+  EXPECT_EQ(n.permute, 0u);
+  EXPECT_EQ(n.osite, g.outer_index({0, 0, 0, 0}));
+}
+
+TEST(Cartesian, NeighbourConsistentWithGlobalDisplacement) {
+  // For every site and direction: the neighbour entry must address the
+  // outer site of the displaced global coordinate, and the permute flag
+  // must equal the lane difference.
+  const GridCartesian g({4, 6, 4, 8}, {1, 1, 2, 2});
+  for (std::int64_t o = 0; o < g.osites(); ++o) {
+    for (unsigned l = 0; l < g.isites(); ++l) {
+      const Coordinate x = g.global_coor(o, l);
+      for (int mu = 0; mu < Nd; ++mu) {
+        for (int disp : {+1, -1}) {
+          const Coordinate xn = displace(x, mu, disp, g.fdimensions());
+          const auto n = g.neighbour(o, mu, disp);
+          EXPECT_EQ(n.osite, g.outer_index(xn));
+          const unsigned ln = g.inner_index(xn);
+          EXPECT_EQ(ln, l ^ n.permute) << to_string(x) << " mu=" << mu;
+        }
+      }
+    }
+  }
+}
+
+TEST(Cartesian, RejectsIndivisibleLayout) {
+  EXPECT_DEATH(GridCartesian({5, 4, 4, 4}, {2, 1, 1, 1}), "divisible");
+}
+
+TEST(Cartesian, RejectsTooSmallBlocks) {
+  // fdim 2 with layout 2 gives blocks of one site: neighbours would live in
+  // the same vector, which the layout forbids.
+  EXPECT_DEATH(GridCartesian({2, 4, 4, 4}, {2, 1, 1, 1}), "at least 2");
+}
+
+}  // namespace
+}  // namespace svelat::lattice

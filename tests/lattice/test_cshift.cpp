@@ -1,0 +1,117 @@
+// Cshift: the vectorized shift (with Fig. 1 boundary permutes) must agree
+// with the naive scalar definition r(x) = f(x + disp*mu^) for every site,
+// direction, vector length and backend.
+#include <gtest/gtest.h>
+
+#include <complex>
+
+#include "lattice/lattice_all.h"
+#include "simd/simd.h"
+#include "sve/sve.h"
+
+namespace svelat::lattice {
+namespace {
+
+using C = std::complex<double>;
+
+template <typename S>
+struct CshiftChecker {
+  using Field = Lattice<tensor::iVector<S, 3>>;
+
+  static void run(const Coordinate& dims) {
+    sve::set_vector_length(8 * S::vlb);
+    GridCartesian g(dims, GridCartesian::default_simd_layout(S::Nsimd()));
+    Field f(&g);
+    SiteRNG rng(42);
+    gaussian_fill(rng, f);
+
+    for (int mu = 0; mu < Nd; ++mu) {
+      for (int disp : {+1, -1}) {
+        const Field shifted = Cshift(f, mu, disp);
+        for (std::int64_t o = 0; o < g.osites(); ++o) {
+          for (unsigned l = 0; l < g.isites(); ++l) {
+            const Coordinate x = g.global_coor(o, l);
+            const Coordinate xn = displace(x, mu, disp, dims);
+            const auto got = shifted.peek(x);
+            const auto expect = f.peek(xn);
+            for (int c = 0; c < 3; ++c) {
+              ASSERT_EQ(got(c), expect(c))
+                  << "mu=" << mu << " disp=" << disp << " x=" << to_string(x);
+            }
+          }
+        }
+      }
+    }
+    sve::set_vector_length(512);
+  }
+};
+
+TEST(Cshift, MatchesNaive512Fcmla) {
+  CshiftChecker<simd::SimdComplex<double, simd::kVLB512, simd::SveFcmla>>::run({4, 4, 4, 4});
+}
+
+TEST(Cshift, MatchesNaive256Fcmla) {
+  CshiftChecker<simd::SimdComplex<double, simd::kVLB256, simd::SveFcmla>>::run({4, 4, 4, 4});
+}
+
+TEST(Cshift, MatchesNaive128Fcmla) {
+  CshiftChecker<simd::SimdComplex<double, simd::kVLB128, simd::SveFcmla>>::run({4, 4, 4, 4});
+}
+
+TEST(Cshift, MatchesNaive512Real) {
+  CshiftChecker<simd::SimdComplex<double, simd::kVLB512, simd::SveReal>>::run({4, 4, 4, 4});
+}
+
+TEST(Cshift, MatchesNaive512Generic) {
+  CshiftChecker<simd::SimdComplex<double, simd::kVLB512, simd::Generic>>::run({4, 4, 4, 4});
+}
+
+TEST(Cshift, MatchesNaiveAnisotropic) {
+  CshiftChecker<simd::SimdComplex<double, simd::kVLB512, simd::SveFcmla>>::run({4, 6, 4, 8});
+}
+
+TEST(Cshift, MatchesNaiveFloat512) {
+  CshiftChecker<simd::SimdComplex<float, simd::kVLB512, simd::SveFcmla>>::run({4, 4, 4, 4});
+}
+
+TEST(Cshift, ForwardBackwardIsIdentity) {
+  using S = simd::SimdComplex<double, simd::kVLB512, simd::SveFcmla>;
+  sve::VLGuard vl(512);
+  GridCartesian g({4, 4, 4, 4}, GridCartesian::default_simd_layout(S::Nsimd()));
+  Lattice<tensor::iVector<S, 3>> f(&g);
+  SiteRNG rng(9);
+  gaussian_fill(rng, f);
+  for (int mu = 0; mu < Nd; ++mu) {
+    const auto back = Cshift(Cshift(f, mu, +1), mu, -1);
+    const auto diff = back - f;
+    EXPECT_EQ(norm2(diff), 0.0) << mu;
+  }
+}
+
+TEST(Cshift, FullOrbitReturnsToStart) {
+  using S = simd::SimdComplex<double, simd::kVLB256, simd::SveReal>;
+  sve::VLGuard vl(256);
+  GridCartesian g({4, 4, 4, 4}, GridCartesian::default_simd_layout(S::Nsimd()));
+  Lattice<tensor::iVector<S, 3>> f(&g);
+  SiteRNG rng(10);
+  gaussian_fill(rng, f);
+  // Shifting L times around a periodic direction is the identity.
+  auto shifted = f;
+  for (int step = 0; step < 4; ++step) shifted = Cshift(shifted, 3, +1);
+  EXPECT_EQ(norm2(shifted - f), 0.0);
+}
+
+TEST(Cshift, NormInvariantUnderShift) {
+  using S = simd::SimdComplex<double, simd::kVLB512, simd::SveFcmla>;
+  sve::VLGuard vl(512);
+  GridCartesian g({4, 4, 4, 4}, GridCartesian::default_simd_layout(S::Nsimd()));
+  Lattice<tensor::iVector<S, 3>> f(&g);
+  SiteRNG rng(11);
+  gaussian_fill(rng, f);
+  const double n = norm2(f);
+  for (int mu = 0; mu < Nd; ++mu)
+    EXPECT_DOUBLE_EQ(norm2(Cshift(f, mu, +1)), n) << mu;
+}
+
+}  // namespace
+}  // namespace svelat::lattice

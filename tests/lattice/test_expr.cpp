@@ -1,0 +1,125 @@
+// Expression-template layer tests: fused evaluation must agree exactly
+// with the eager operators.
+#include "lattice/expr.h"
+
+#include <gtest/gtest.h>
+
+#include "lattice/fill.h"
+#include "qcd/types.h"
+#include "sve/sve.h"
+
+namespace svelat::lattice {
+namespace {
+
+using C = std::complex<double>;
+using S = simd::SimdComplex<double, simd::kVLB512, simd::SveFcmla>;
+using Field = Lattice<tensor::iVector<S, 3>>;
+using MatField = Lattice<qcd::ColourMatrix<S>>;
+
+class ExprTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    sve::set_vector_length(512);
+    grid_ = std::make_unique<GridCartesian>(
+        Coordinate{4, 4, 4, 4}, GridCartesian::default_simd_layout(S::Nsimd()));
+    a_ = std::make_unique<Field>(grid_.get());
+    b_ = std::make_unique<Field>(grid_.get());
+    c_ = std::make_unique<Field>(grid_.get());
+    gaussian_fill(SiteRNG(1), *a_);
+    gaussian_fill(SiteRNG(2), *b_);
+    gaussian_fill(SiteRNG(3), *c_);
+  }
+  std::unique_ptr<GridCartesian> grid_;
+  std::unique_ptr<Field> a_, b_, c_;
+};
+
+TEST_F(ExprTest, AddSubMatchEager) {
+  using namespace expr;
+  Field r(grid_.get());
+  eval_into(r, ref(*a_) + ref(*b_) - ref(*c_));
+  const Field expect = *a_ + *b_ - *c_;
+  EXPECT_EQ(norm2(r - expect), 0.0);
+}
+
+TEST_F(ExprTest, ScaleAndNegate) {
+  using namespace expr;
+  Field r(grid_.get());
+  const C alpha(0.5, -1.5);
+  eval_into(r, alpha * ref(*a_) + (-ref(*b_)));
+  const Field expect = alpha * *a_ - *b_;
+  EXPECT_EQ(norm2(r - expect), 0.0);
+}
+
+TEST_F(ExprTest, DoubleCoefficient) {
+  using namespace expr;
+  Field r(grid_.get());
+  eval_into(r, 2.0 * ref(*a_));
+  const Field expect = 2.0 * *a_;
+  EXPECT_EQ(norm2(r - expect), 0.0);
+}
+
+TEST_F(ExprTest, TimesIAndConjugate) {
+  using namespace expr;
+  Field r(grid_.get()), s(grid_.get());
+  eval_into(r, timesI(ref(*a_)));
+  eval_into(s, conjugate(ref(*a_)));
+  for (int t = 0; t < 4; ++t) {
+    const Coordinate x{t, 0, (t + 1) % 4, 2};
+    const auto sa = a_->peek(x), sr = r.peek(x), ss = s.peek(x);
+    for (int i = 0; i < 3; ++i) {
+      EXPECT_EQ(sr(i), C(0, 1) * sa(i));
+      EXPECT_EQ(ss(i), std::conj(sa(i)));
+    }
+  }
+}
+
+TEST_F(ExprTest, DeepExpressionSinglePass) {
+  using namespace expr;
+  Field r(grid_.get());
+  const C alpha(2.0, 0.5);
+  eval_into(r, alpha * (ref(*a_) + ref(*b_)) - timesI(ref(*c_) - ref(*a_)));
+  // Eager equivalent with temporaries.
+  const Field t1 = *a_ + *b_;
+  const Field t2 = *c_ - *a_;
+  Field t3(grid_.get());
+  for (std::int64_t o = 0; o < grid_->osites(); ++o) t3[o] = tensor::timesI(t2[o]);
+  const Field expect = alpha * t1 - t3;
+  EXPECT_EQ(norm2(r - expect), 0.0);
+}
+
+TEST_F(ExprTest, MatrixProductExpression) {
+  using namespace expr;
+  MatField u(grid_.get()), v(grid_.get()), r(grid_.get());
+  uniform_fill(SiteRNG(4), u, -1.0, 1.0);
+  uniform_fill(SiteRNG(5), v, -1.0, 1.0);
+  eval_into(r, ref(u) * adj(ref(v)));
+  for (int t = 0; t < 4; ++t) {
+    const Coordinate x{1, t, 2, (t + 2) % 4};
+    const auto su = u.peek(x), sv = v.peek(x), sr = r.peek(x);
+    for (int i = 0; i < 3; ++i)
+      for (int j = 0; j < 3; ++j) {
+        C expect{};
+        for (int k = 0; k < 3; ++k) expect += su(i, k) * std::conj(sv(j, k));
+        EXPECT_NEAR(std::abs(sr(i, j) - expect), 0.0, 1e-13);
+      }
+  }
+}
+
+TEST_F(ExprTest, FusedInnerProduct) {
+  using namespace expr;
+  const C alpha(0.0, 2.0);
+  const C fused = inner_product(*a_, alpha * ref(*b_) + ref(*c_));
+  const Field materialized = alpha * *b_ + *c_;
+  const C eager = innerProduct(*a_, materialized);
+  EXPECT_NEAR(std::abs(fused - eager), 0.0, 1e-10 * std::abs(eager));
+}
+
+TEST_F(ExprTest, GridMismatchRejected) {
+  using namespace expr;
+  GridCartesian other({4, 4, 4, 8}, GridCartesian::default_simd_layout(S::Nsimd()));
+  Field r(&other);
+  EXPECT_DEATH(eval_into(r, ref(*a_) + ref(*b_)), "different grid");
+}
+
+}  // namespace
+}  // namespace svelat::lattice

@@ -1,0 +1,83 @@
+// Site-local field operation tests.
+#include "lattice/local_ops.h"
+
+#include <gtest/gtest.h>
+
+#include "lattice/fill.h"
+#include "qcd/su3.h"
+#include "sve/sve.h"
+
+namespace svelat::lattice {
+namespace {
+
+using C = std::complex<double>;
+using S = simd::SimdComplex<double, simd::kVLB512, simd::SveFcmla>;
+using MatField = Lattice<qcd::ColourMatrix<S>>;
+
+class LocalOpsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    sve::set_vector_length(512);
+    grid_ = std::make_unique<GridCartesian>(
+        Coordinate{4, 4, 4, 4}, GridCartesian::default_simd_layout(S::Nsimd()));
+  }
+  std::unique_ptr<GridCartesian> grid_;
+};
+
+TEST_F(LocalOpsTest, LocalMultMatchesPerSiteProduct) {
+  MatField a(grid_.get()), b(grid_.get()), c(grid_.get());
+  uniform_fill(SiteRNG(1), a, -1.0, 1.0);
+  uniform_fill(SiteRNG(2), b, -1.0, 1.0);
+  local_mult(c, a, b);
+  const Coordinate x{1, 2, 3, 0};
+  const auto sa = a.peek(x), sb = b.peek(x), sc = c.peek(x);
+  for (int i = 0; i < qcd::Nc; ++i)
+    for (int j = 0; j < qcd::Nc; ++j) {
+      C expect{};
+      for (int k = 0; k < qcd::Nc; ++k) expect += sa(i, k) * sb(k, j);
+      EXPECT_NEAR(std::abs(sc(i, j) - expect), 0.0, 1e-13);
+    }
+}
+
+TEST_F(LocalOpsTest, LocalAdjIsInvolution) {
+  MatField a(grid_.get()), b(grid_.get()), c(grid_.get());
+  uniform_fill(SiteRNG(3), a, -1.0, 1.0);
+  local_adj(b, a);
+  local_adj(c, b);
+  const Coordinate x{0, 1, 2, 3};
+  const auto sa = a.peek(x), sb = b.peek(x), sc = c.peek(x);
+  for (int i = 0; i < qcd::Nc; ++i)
+    for (int j = 0; j < qcd::Nc; ++j) {
+      EXPECT_EQ(sb(i, j), std::conj(sa(j, i)));
+      EXPECT_EQ(sc(i, j), sa(i, j));
+    }
+}
+
+TEST_F(LocalOpsTest, TraceSumMatchesScalarLoop) {
+  MatField a(grid_.get());
+  uniform_fill(SiteRNG(4), a, -1.0, 1.0);
+  const C got = local_trace_sum(a);
+  C expect{};
+  for (std::int64_t o = 0; o < grid_->osites(); ++o)
+    for (unsigned l = 0; l < grid_->isites(); ++l) {
+      const auto s = a.peek(grid_->global_coor(o, l));
+      for (int i = 0; i < qcd::Nc; ++i) expect += s(i, i);
+    }
+  EXPECT_NEAR(std::abs(got - expect), 0.0, 1e-9);
+}
+
+TEST_F(LocalOpsTest, TraceOfUUdagIsNcTimesVolume) {
+  // For unitary links, tr(U U^dag) = Nc at every site.
+  MatField u(grid_.get()), udag(grid_.get()), prod(grid_.get());
+  qcd::GaugeField<S> gauge(grid_.get());
+  qcd::random_gauge(SiteRNG(5), gauge);
+  u = gauge.U[0];
+  local_adj(udag, u);
+  local_mult(prod, u, udag);
+  const C tr = local_trace_sum(prod);
+  EXPECT_NEAR(tr.real(), 3.0 * static_cast<double>(grid_->gsites()), 1e-8);
+  EXPECT_NEAR(tr.imag(), 0.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace svelat::lattice

@@ -1,0 +1,138 @@
+// Gamma algebra and spin projection tests.
+#include "qcd/gamma.h"
+
+#include <gtest/gtest.h>
+
+#include <complex>
+
+namespace svelat::qcd {
+namespace {
+
+using C = std::complex<double>;
+using Mat4 = tensor::iMatrix<C, Ns>;
+
+Mat4 identity4() {
+  Mat4 m = tensor::Zero<Mat4>();
+  for (int i = 0; i < Ns; ++i) m(i, i) = C(1, 0);
+  return m;
+}
+
+double max_abs_diff(const Mat4& a, const Mat4& b) {
+  double d = 0;
+  for (int i = 0; i < Ns; ++i)
+    for (int j = 0; j < Ns; ++j) d = std::max(d, std::abs(a(i, j) - b(i, j)));
+  return d;
+}
+
+TEST(Gamma, AnticommutationRelations) {
+  // {gamma_mu, gamma_nu} = 2 delta_{mu nu}.
+  for (int mu = 0; mu < 4; ++mu) {
+    for (int nu = 0; nu < 4; ++nu) {
+      const Mat4 anti = gamma_matrix(mu) * gamma_matrix(nu) +
+                        gamma_matrix(nu) * gamma_matrix(mu);
+      const Mat4 expect = (mu == nu) ? Mat4(C(2, 0) * identity4()) : tensor::Zero<Mat4>();
+      EXPECT_LT(max_abs_diff(anti, expect), 1e-14) << mu << "," << nu;
+    }
+  }
+}
+
+TEST(Gamma, Hermiticity) {
+  for (int mu = 0; mu <= 4; ++mu)
+    EXPECT_LT(max_abs_diff(gamma_matrix(mu), tensor::adj(gamma_matrix(mu))), 1e-14) << mu;
+}
+
+TEST(Gamma, SquareToIdentity) {
+  for (int mu = 0; mu <= 4; ++mu)
+    EXPECT_LT(max_abs_diff(gamma_matrix(mu) * gamma_matrix(mu), identity4()), 1e-14) << mu;
+}
+
+TEST(Gamma, Gamma5IsProductOfGammas) {
+  const Mat4 prod = gamma_matrix(0) * gamma_matrix(1) * gamma_matrix(2) * gamma_matrix(3);
+  EXPECT_LT(max_abs_diff(prod, gamma_matrix(4)), 1e-14);
+}
+
+TEST(Gamma, Gamma5AnticommutesWithGammaMu) {
+  for (int mu = 0; mu < 4; ++mu) {
+    const Mat4 anti =
+        gamma_matrix(4) * gamma_matrix(mu) + gamma_matrix(mu) * gamma_matrix(4);
+    EXPECT_LT(max_abs_diff(anti, tensor::Zero<Mat4>()), 1e-14) << mu;
+  }
+}
+
+TEST(Gamma, ProjectorsAreIdempotentUpToScale) {
+  // P = (1 +/- gamma_mu) satisfies P^2 = 2P.
+  for (int mu = 0; mu < 4; ++mu)
+    for (int sign : {+1, -1}) {
+      const Mat4 p = one_plus_gamma(mu, sign);
+      EXPECT_LT(max_abs_diff(p * p, C(2, 0) * p), 1e-14) << mu << "," << sign;
+    }
+}
+
+TEST(Gamma, ProjectorsSumToTwo) {
+  for (int mu = 0; mu < 4; ++mu) {
+    const Mat4 sum = one_plus_gamma(mu, +1) + one_plus_gamma(mu, -1);
+    EXPECT_LT(max_abs_diff(sum, C(2, 0) * identity4()), 1e-14) << mu;
+  }
+}
+
+// --- spin projection / reconstruction against explicit matrices -------------
+using ScalarSpinColour = SpinColourVector<std::complex<double>>;
+
+ScalarSpinColour test_spinor(int tag) {
+  ScalarSpinColour p;
+  for (int s = 0; s < Ns; ++s)
+    for (int c = 0; c < Nc; ++c)
+      p(s)(c) = C(0.3 * ((tag * 7 + s * 3 + c) % 11) - 1.5,
+                  0.7 * ((tag * 5 + s * 2 + c * 3) % 7) - 2.0);
+  return p;
+}
+
+ScalarSpinColour apply_matrix(const Mat4& m, const ScalarSpinColour& p) {
+  ScalarSpinColour r = tensor::Zero<ScalarSpinColour>();
+  for (int i = 0; i < Ns; ++i)
+    for (int j = 0; j < Ns; ++j)
+      for (int c = 0; c < Nc; ++c) r(i)(c) += m(i, j) * p(j)(c);
+  return r;
+}
+
+TEST(Gamma, ProjectReconstructEqualsExplicitProjector) {
+  // R^s_mu (P^s_mu psi) must equal (1 + s*gamma_mu) psi for all mu, s.
+  for (int mu = 0; mu < 4; ++mu) {
+    for (int sign : {+1, -1}) {
+      const ScalarSpinColour p = test_spinor(mu + 5 * (sign + 1));
+      const auto h = spin_project(mu, sign, p);
+      const auto r = spin_reconstruct(mu, sign, h);
+      const auto expect = apply_matrix(one_plus_gamma(mu, sign), p);
+      for (int s = 0; s < Ns; ++s)
+        for (int c = 0; c < Nc; ++c)
+          EXPECT_LT(std::abs(r(s)(c) - expect(s)(c)), 1e-13)
+              << "mu=" << mu << " sign=" << sign << " s=" << s << " c=" << c;
+    }
+  }
+}
+
+TEST(Gamma, ReconstructAccumMatchesReconstruct) {
+  for (int mu = 0; mu < 4; ++mu)
+    for (int sign : {+1, -1}) {
+      const ScalarSpinColour p = test_spinor(mu + 17 * (sign + 2));
+      const auto h = spin_project(mu, sign, p);
+      ScalarSpinColour acc = test_spinor(99);
+      const ScalarSpinColour base = acc;
+      spin_reconstruct_accum(mu, sign, h, acc);
+      const auto expect = base + spin_reconstruct(mu, sign, h);
+      for (int s = 0; s < Ns; ++s)
+        for (int c = 0; c < Nc; ++c)
+          EXPECT_LT(std::abs(acc(s)(c) - expect(s)(c)), 1e-13);
+    }
+}
+
+TEST(Gamma, Gamma5FunctionMatchesMatrix) {
+  const ScalarSpinColour p = test_spinor(3);
+  const auto g5p = gamma5(p);
+  const auto expect = apply_matrix(gamma_matrix(4), p);
+  for (int s = 0; s < Ns; ++s)
+    for (int c = 0; c < Nc; ++c) EXPECT_EQ(g5p(s)(c), expect(s)(c));
+}
+
+}  // namespace
+}  // namespace svelat::qcd

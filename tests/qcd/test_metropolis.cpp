@@ -1,0 +1,115 @@
+// Quenched Metropolis update tests.
+#include "qcd/metropolis.h"
+
+#include <gtest/gtest.h>
+
+#include "qcd/plaquette.h"
+#include "sve/sve.h"
+
+namespace svelat::qcd {
+namespace {
+
+using S = simd::SimdComplex<double, simd::kVLB256, simd::SveFcmla>;
+
+class MetropolisTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    sve::set_vector_length(256);
+    grid_ = std::make_unique<lattice::GridCartesian>(
+        lattice::Coordinate{4, 4, 4, 4},
+        lattice::GridCartesian::default_simd_layout(S::Nsimd()));
+    gauge_ = std::make_unique<GaugeField<S>>(grid_.get());
+  }
+  std::unique_ptr<lattice::GridCartesian> grid_;
+  std::unique_ptr<GaugeField<S>> gauge_;
+};
+
+TEST_F(MetropolisTest, StapleClosesPlaquetteSum) {
+  // Identity: sum over links of Re tr[U_mu(x) staple^dag... ] -- simpler
+  // check: on the unit gauge every staple is 2*(Nd-1) copies of 1.
+  unit_gauge(*gauge_);
+  const auto st = staple_sum(*gauge_, {1, 2, 3, 0}, 1);
+  for (int i = 0; i < Nc; ++i)
+    for (int j = 0; j < Nc; ++j) {
+      const std::complex<double> expect = (i == j) ? 6.0 : 0.0;  // 2*(Nd-1)
+      EXPECT_NEAR(std::abs(st(i, j) - expect), 0.0, 1e-12);
+    }
+}
+
+TEST_F(MetropolisTest, SweepKeepsLinksInSU3) {
+  random_gauge(SiteRNG(1), *gauge_);
+  MetropolisParams params;
+  params.beta = 5.5;
+  metropolis_sweep(*gauge_, params, 0);
+  for (int mu = 0; mu < lattice::Nd; ++mu) {
+    for (int t = 0; t < 4; ++t) {
+      const auto s = gauge_->U[mu].peek({t, (t + 1) % 4, 0, t});
+      ScalarColourMatrix m;
+      for (int i = 0; i < Nc; ++i)
+        for (int j = 0; j < Nc; ++j) m(i, j) = s(i, j);
+      EXPECT_LT(unitarity_error(m), 1e-12);
+      EXPECT_LT(std::abs(determinant(m) - std::complex<double>(1, 0)), 1e-12);
+    }
+  }
+}
+
+TEST_F(MetropolisTest, HighBetaOrdersTheGauge) {
+  // At strong coupling start (plaquette ~ 0), a few sweeps at high beta
+  // must drive the plaquette up decisively.
+  random_gauge(SiteRNG(2), *gauge_);
+  const double before = average_plaquette(*gauge_);
+  MetropolisParams params;
+  params.beta = 8.0;
+  params.epsilon = 0.25;
+  double acceptance = 0;
+  for (int sweep = 0; sweep < 6; ++sweep)
+    acceptance = metropolis_sweep(*gauge_, params, sweep).acceptance;
+  const double after = average_plaquette(*gauge_);
+  EXPECT_LT(std::abs(before), 0.1);
+  EXPECT_GT(after, 0.35);
+  EXPECT_GT(after, before + 0.3);
+  EXPECT_GT(acceptance, 0.05);
+  EXPECT_LT(acceptance, 0.99);
+}
+
+TEST_F(MetropolisTest, UnitGaugeStaysOrderedAtHighBeta) {
+  unit_gauge(*gauge_);
+  MetropolisParams params;
+  params.beta = 10.0;
+  params.epsilon = 0.15;
+  for (int sweep = 0; sweep < 3; ++sweep) metropolis_sweep(*gauge_, params, sweep);
+  EXPECT_GT(average_plaquette(*gauge_), 0.8);
+}
+
+TEST_F(MetropolisTest, ChainReproducibleAcrossLayouts) {
+  // The Markov chain is keyed by global site indices: running the same
+  // chain on a different vector length yields the same configuration.
+  using S128 = simd::SimdComplex<double, simd::kVLB128, simd::SveReal>;
+  MetropolisParams params;
+  params.beta = 6.0;
+  params.seed = 9;
+
+  random_gauge(SiteRNG(3), *gauge_);
+  for (int sweep = 0; sweep < 2; ++sweep) metropolis_sweep(*gauge_, params, sweep);
+  const double p256 = average_plaquette(*gauge_);
+
+  sve::VLGuard vl(128);
+  lattice::GridCartesian g128({4, 4, 4, 4},
+                              lattice::GridCartesian::default_simd_layout(S128::Nsimd()));
+  GaugeField<S128> gauge128(&g128);
+  random_gauge(SiteRNG(3), gauge128);
+  for (int sweep = 0; sweep < 2; ++sweep) metropolis_sweep(gauge128, params, sweep);
+  const double p128 = average_plaquette(gauge128);
+  EXPECT_NEAR(p256, p128, 1e-12);
+}
+
+TEST_F(MetropolisTest, LowBetaStaysDisordered) {
+  random_gauge(SiteRNG(4), *gauge_);
+  MetropolisParams params;
+  params.beta = 0.5;  // almost free measure
+  for (int sweep = 0; sweep < 4; ++sweep) metropolis_sweep(*gauge_, params, sweep);
+  EXPECT_LT(average_plaquette(*gauge_), 0.3);
+}
+
+}  // namespace
+}  // namespace svelat::qcd

@@ -1,0 +1,100 @@
+// Wilson-loop and Polyakov-loop tests.
+#include "qcd/observables.h"
+
+#include <gtest/gtest.h>
+
+#include "qcd/plaquette.h"
+#include "qcd/su3.h"
+#include "sve/sve.h"
+
+namespace svelat::qcd {
+namespace {
+
+using S = simd::SimdComplex<double, simd::kVLB512, simd::SveFcmla>;
+
+class ObservablesTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    sve::set_vector_length(512);
+    grid_ = std::make_unique<lattice::GridCartesian>(
+        lattice::Coordinate{4, 4, 4, 8},
+        lattice::GridCartesian::default_simd_layout(S::Nsimd()));
+    gauge_ = std::make_unique<GaugeField<S>>(grid_.get());
+  }
+  std::unique_ptr<lattice::GridCartesian> grid_;
+  std::unique_ptr<GaugeField<S>> gauge_;
+};
+
+TEST_F(ObservablesTest, FreeFieldLoopsAreUnity) {
+  unit_gauge(*gauge_);
+  for (int r = 1; r <= 2; ++r)
+    for (int t = 1; t <= 3; ++t)
+      EXPECT_NEAR(average_wilson_loop(*gauge_, r, t), 1.0, 1e-12) << r << "x" << t;
+  const auto poly = polyakov_loop(*gauge_);
+  EXPECT_NEAR(poly.real(), 1.0, 1e-12);
+  EXPECT_NEAR(poly.imag(), 0.0, 1e-12);
+}
+
+TEST_F(ObservablesTest, OneByOneLoopEqualsPlaquette) {
+  random_gauge(SiteRNG(11), *gauge_);
+  const double w11 = average_wilson_loop(*gauge_, 1, 1);
+  const double plaq = average_plaquette(*gauge_);
+  EXPECT_NEAR(w11, plaq, 1e-12);
+}
+
+TEST_F(ObservablesTest, LoopsGaugeInvariant) {
+  random_gauge(SiteRNG(12), *gauge_);
+  const double w12 = wilson_loop(*gauge_, 0, 3, 1, 2);
+  const double w22 = wilson_loop(*gauge_, 1, 2, 2, 2);
+  const auto poly = polyakov_loop(*gauge_);
+
+  lattice::Lattice<ColourMatrix<S>> v(grid_.get());
+  random_colour_transform(SiteRNG(13), v);
+  gauge_transform(*gauge_, v);
+
+  EXPECT_NEAR(wilson_loop(*gauge_, 0, 3, 1, 2), w12, 1e-12);
+  EXPECT_NEAR(wilson_loop(*gauge_, 1, 2, 2, 2), w22, 1e-12);
+  const auto poly_t = polyakov_loop(*gauge_);
+  EXPECT_NEAR(poly_t.real(), poly.real(), 1e-12);
+  EXPECT_NEAR(poly_t.imag(), poly.imag(), 1e-12);
+}
+
+TEST_F(ObservablesTest, LargerLoopsSmallerOnRandomGauge) {
+  // Area law at strong coupling: W(R,T) ~ exp(-sigma R T) -> bigger loops
+  // are (much) closer to zero.
+  random_gauge(SiteRNG(14), *gauge_);
+  const double w11 = std::abs(average_wilson_loop(*gauge_, 1, 1));
+  const double w22 = std::abs(average_wilson_loop(*gauge_, 2, 2));
+  EXPECT_LT(w22, std::max(w11, 0.02));
+  EXPECT_LT(w11, 0.15);  // disordered
+}
+
+TEST_F(ObservablesTest, LoopSymmetricInRAndT) {
+  // W(R,T) averaged over all planes equals W(T,R).
+  random_gauge(SiteRNG(15), *gauge_);
+  EXPECT_NEAR(average_wilson_loop(*gauge_, 1, 2), average_wilson_loop(*gauge_, 2, 1),
+              1e-12);
+}
+
+TEST_F(ObservablesTest, LinkLineMatchesManualProduct) {
+  random_gauge(SiteRNG(16), *gauge_);
+  const auto line = detail::link_line(*gauge_, 2, 3);
+  // Manual product at one site.
+  const lattice::Coordinate x{1, 2, 0, 3};
+  using C = std::complex<double>;
+  tensor::iMatrix<C, Nc> expect;
+  for (int i = 0; i < Nc; ++i)
+    for (int j = 0; j < Nc; ++j) expect(i, j) = C{};
+  const auto u0 = gauge_->U[2].peek(x);
+  const auto u1 = gauge_->U[2].peek(lattice::displace(x, 2, 1, grid_->fdimensions()));
+  const auto u2 = gauge_->U[2].peek(
+      lattice::displace(lattice::displace(x, 2, 1, grid_->fdimensions()), 2, 1, grid_->fdimensions()));
+  const auto prod = u0 * u1 * u2;
+  const auto got = line.peek(x);
+  for (int i = 0; i < Nc; ++i)
+    for (int j = 0; j < Nc; ++j)
+      EXPECT_NEAR(std::abs(got(i, j) - prod(i, j)), 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace svelat::qcd

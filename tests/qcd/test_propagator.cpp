@@ -1,0 +1,120 @@
+// Propagator and pion-correlator tests.
+#include "qcd/propagator.h"
+
+#include <gtest/gtest.h>
+
+#include "sve/sve.h"
+
+namespace svelat::qcd {
+namespace {
+
+using C = std::complex<double>;
+using S = simd::SimdComplex<double, simd::kVLB256, simd::SveFcmla>;
+
+class PropagatorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    sve::set_vector_length(256);
+    grid_ = std::make_unique<lattice::GridCartesian>(
+        lattice::Coordinate{4, 4, 4, 8},
+        lattice::GridCartesian::default_simd_layout(S::Nsimd()));
+  }
+  std::unique_ptr<lattice::GridCartesian> grid_;
+};
+
+TEST_F(PropagatorTest, PointSourceIsDelta) {
+  LatticeFermion<S> src(grid_.get());
+  point_source(src, {1, 2, 3, 4}, 2, 1);
+  EXPECT_DOUBLE_EQ(norm2(src), 1.0);
+  const auto s = src.peek({1, 2, 3, 4});
+  EXPECT_EQ(s(2)(1), C(1, 0));
+  EXPECT_EQ(s(0)(0), C(0, 0));
+  const auto z = src.peek({0, 0, 0, 0});
+  EXPECT_EQ(z(2)(1), C(0, 0));
+}
+
+TEST_F(PropagatorTest, MultGammaMatchesExplicitMatrix) {
+  using SC = SpinColourVector<C>;
+  SC p;
+  for (int s = 0; s < Ns; ++s)
+    for (int c = 0; c < Nc; ++c) p(s)(c) = C(0.5 * s - c, 0.25 * c + s);
+  for (int mu = 0; mu <= 4; ++mu) {
+    const SC got = mult_gamma(mu, p);
+    const auto m = gamma_matrix(mu);
+    for (int si = 0; si < Ns; ++si)
+      for (int c = 0; c < Nc; ++c) {
+        C expect{};
+        for (int sj = 0; sj < Ns; ++sj) expect += m(si, sj) * p(sj)(c);
+        EXPECT_LT(std::abs(got(si)(c) - expect), 1e-14) << mu << ":" << si << ":" << c;
+      }
+  }
+}
+
+TEST_F(PropagatorTest, FieldLevelGammaIsInvolutionUpToSign) {
+  LatticeFermion<S> f(grid_.get()), g(grid_.get()), h(grid_.get());
+  gaussian_fill(SiteRNG(3), f);
+  for (int mu = 0; mu <= 4; ++mu) {
+    mult_gamma(mu, f, g);
+    mult_gamma(mu, g, h);  // gamma_mu^2 = 1
+    EXPECT_LT(norm2(h - f), 1e-20) << mu;
+  }
+}
+
+TEST_F(PropagatorTest, FreeFieldCorrelatorSymmetric) {
+  GaugeField<S> gauge(grid_.get());
+  unit_gauge(gauge);
+  const EvenOddWilson<S> eo(gauge, 0.5);
+  Propagator<S> prop(grid_.get());
+  const double worst = compute_propagator(eo, {0, 0, 0, 0}, prop, 1e-9, 600);
+  EXPECT_LT(worst, 1e-8);
+
+  const auto corr = pion_correlator(prop);
+  ASSERT_EQ(corr.size(), 8u);
+  // All time slices positive; source slice dominates.
+  for (double c : corr) EXPECT_GT(c, 0.0);
+  for (std::size_t t = 1; t < corr.size(); ++t) EXPECT_LT(corr[t], corr[0]) << t;
+  // Time-reflection symmetry (exact for unit gauge and point source at 0).
+  for (std::size_t t = 1; t < 4; ++t)
+    EXPECT_NEAR(corr[t], corr[8 - t], 1e-8 * corr[t]) << t;
+  // Decay towards the midpoint.
+  EXPECT_GT(corr[1], corr[2]);
+  EXPECT_GT(corr[2], corr[3]);
+}
+
+TEST_F(PropagatorTest, EffectiveMassPositiveAndPlateauing) {
+  GaugeField<S> gauge(grid_.get());
+  unit_gauge(gauge);
+  const EvenOddWilson<S> eo(gauge, 0.8);  // heavy quark: fast plateau
+  Propagator<S> prop(grid_.get());
+  compute_propagator(eo, {0, 0, 0, 0}, prop, 1e-9, 600);
+  const auto meff = effective_mass(pion_correlator(prop));
+  // In the decaying half, m_eff is positive.
+  for (std::size_t t = 0; t < 3; ++t) EXPECT_GT(meff[t], 0.0) << t;
+}
+
+TEST_F(PropagatorTest, CorrelatorGaugeInvariant) {
+  // The pion correlator is gauge invariant: solving on a gauge-transformed
+  // configuration gives the same C(t) (source transforms by V(0), sink sum
+  // by unitarity).
+  GaugeField<S> gauge(grid_.get());
+  random_gauge(SiteRNG(5), gauge);
+  const EvenOddWilson<S> eo(gauge, 0.5);
+  Propagator<S> prop(grid_.get());
+  compute_propagator(eo, {0, 0, 0, 0}, prop, 1e-10, 800);
+  const auto corr = pion_correlator(prop);
+
+  lattice::Lattice<ColourMatrix<S>> v(grid_.get());
+  random_colour_transform(SiteRNG(6), v);
+  GaugeField<S> gauge_t = gauge;
+  gauge_transform(gauge_t, v);
+  const EvenOddWilson<S> eo_t(gauge_t, 0.5);
+  Propagator<S> prop_t(grid_.get());
+  compute_propagator(eo_t, {0, 0, 0, 0}, prop_t, 1e-10, 800);
+  const auto corr_t = pion_correlator(prop_t);
+
+  for (std::size_t t = 0; t < corr.size(); ++t)
+    EXPECT_NEAR(corr_t[t], corr[t], 1e-7 * corr[t]) << t;
+}
+
+}  // namespace
+}  // namespace qcd = svelat::qcd

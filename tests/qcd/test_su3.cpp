@@ -1,0 +1,152 @@
+// SU(3) utilities and gauge-field construction tests.
+#include "qcd/su3.h"
+
+#include <gtest/gtest.h>
+
+#include "qcd/plaquette.h"
+#include "sve/sve.h"
+
+namespace svelat::qcd {
+namespace {
+
+using C = std::complex<double>;
+
+TEST(Su3, ProjectProducesUnitaryDetOne) {
+  SiteRNG rng(5);
+  for (std::uint64_t key = 0; key < 32; ++key) {
+    const ScalarColourMatrix u = random_su3(rng, key);
+    EXPECT_LT(unitarity_error(u), 1e-12) << key;
+    EXPECT_LT(std::abs(determinant(u) - C(1, 0)), 1e-12) << key;
+  }
+}
+
+TEST(Su3, ProjectionIsIdempotent) {
+  SiteRNG rng(6);
+  const ScalarColourMatrix u = random_su3(rng, 3);
+  const ScalarColourMatrix v = project_su3(u);
+  double d = 0;
+  for (int i = 0; i < Nc; ++i)
+    for (int j = 0; j < Nc; ++j) d = std::max(d, std::abs(u(i, j) - v(i, j)));
+  EXPECT_LT(d, 1e-12);
+}
+
+TEST(Su3, GroupClosure) {
+  SiteRNG rng(7);
+  const ScalarColourMatrix a = random_su3(rng, 1);
+  const ScalarColourMatrix b = random_su3(rng, 2);
+  const ScalarColourMatrix ab = a * b;
+  EXPECT_LT(unitarity_error(ab), 1e-12);
+  EXPECT_LT(std::abs(determinant(ab) - C(1, 0)), 1e-12);
+  // Inverse = adjoint.
+  const ScalarColourMatrix inv = adj(a) * a;
+  for (int i = 0; i < Nc; ++i)
+    for (int j = 0; j < Nc; ++j)
+      EXPECT_LT(std::abs(inv(i, j) - ((i == j) ? C(1, 0) : C(0, 0))), 1e-12);
+}
+
+TEST(Su3, RandomIsDeterministicPerKey) {
+  SiteRNG a(11), b(11);
+  const auto ua = random_su3(a, 42, 64);
+  const auto ub = random_su3(b, 42, 64);
+  for (int i = 0; i < Nc; ++i)
+    for (int j = 0; j < Nc; ++j) EXPECT_EQ(ua(i, j), ub(i, j));
+  // Different keys decorrelate.
+  const auto uc = random_su3(a, 43, 64);
+  EXPECT_NE(ua(0, 0), uc(0, 0));
+}
+
+TEST(Su3, DeterminantReference) {
+  ScalarColourMatrix m = tensor::Zero<ScalarColourMatrix>();
+  m(0, 0) = C(2, 0);
+  m(1, 1) = C(3, 0);
+  m(2, 2) = C(4, 0);
+  EXPECT_LT(std::abs(determinant(m) - C(24, 0)), 1e-14);
+  m(0, 1) = C(0, 1);  // triangular: det unchanged
+  EXPECT_LT(std::abs(determinant(m) - C(24, 0)), 1e-14);
+}
+
+TEST(Su3, UnitGaugeFieldPlaquetteIsOne) {
+  using S = simd::SimdComplex<double, simd::kVLB512, simd::SveFcmla>;
+  sve::VLGuard vl(512);
+  lattice::GridCartesian grid({4, 4, 4, 4},
+                              lattice::GridCartesian::default_simd_layout(S::Nsimd()));
+  GaugeField<S> g(&grid);
+  unit_gauge(g);
+  EXPECT_NEAR(average_plaquette(g), 1.0, 1e-12);
+}
+
+TEST(Su3, RandomGaugeLinksAreUnitaryEverywhere) {
+  using S = simd::SimdComplex<double, simd::kVLB256, simd::SveFcmla>;
+  sve::VLGuard vl(256);
+  lattice::GridCartesian grid({4, 4, 4, 4},
+                              lattice::GridCartesian::default_simd_layout(S::Nsimd()));
+  GaugeField<S> g(&grid);
+  SiteRNG rng(21);
+  random_gauge(rng, g);
+  for (int mu = 0; mu < lattice::Nd; ++mu) {
+    for (int x = 0; x < 4; ++x) {
+      const auto u = g.U[mu].peek({x, (x + 1) % 4, 0, x});
+      ScalarColourMatrix m;
+      for (int i = 0; i < Nc; ++i)
+        for (int j = 0; j < Nc; ++j) m(i, j) = u(i, j);
+      EXPECT_LT(unitarity_error(m), 1e-12);
+    }
+  }
+}
+
+TEST(Su3, RandomGaugePlaquetteIsDisordered) {
+  // A random (strong-coupling) configuration has plaquette near 0.
+  using S = simd::SimdComplex<double, simd::kVLB512, simd::SveFcmla>;
+  sve::VLGuard vl(512);
+  lattice::GridCartesian grid({4, 4, 4, 4},
+                              lattice::GridCartesian::default_simd_layout(S::Nsimd()));
+  GaugeField<S> g(&grid);
+  SiteRNG rng(22);
+  random_gauge(rng, g);
+  const double p = average_plaquette(g);
+  EXPECT_LT(std::abs(p), 0.15);  // ~1/sqrt(V) fluctuations around 0
+}
+
+TEST(Su3, PlaquetteGaugeInvariant) {
+  using S = simd::SimdComplex<double, simd::kVLB512, simd::SveFcmla>;
+  sve::VLGuard vl(512);
+  lattice::GridCartesian grid({4, 4, 4, 4},
+                              lattice::GridCartesian::default_simd_layout(S::Nsimd()));
+  GaugeField<S> g(&grid);
+  SiteRNG rng(23);
+  random_gauge(rng, g);
+  const double before = average_plaquette(g);
+
+  lattice::Lattice<ColourMatrix<S>> v(&grid);
+  random_colour_transform(SiteRNG(24), v);
+  gauge_transform(g, v);
+  const double after = average_plaquette(g);
+  EXPECT_NEAR(before, after, 1e-12);
+}
+
+TEST(Su3, PlaquetteIdenticalAcrossVectorLengths) {
+  // Same seed, different layouts: identical gauge physics (Sec. V-D).
+  using S512 = simd::SimdComplex<double, simd::kVLB512, simd::SveFcmla>;
+  using S128 = simd::SimdComplex<double, simd::kVLB128, simd::SveReal>;
+  double p512, p128;
+  {
+    sve::VLGuard vl(512);
+    lattice::GridCartesian grid({4, 4, 4, 4},
+                                lattice::GridCartesian::default_simd_layout(S512::Nsimd()));
+    GaugeField<S512> g(&grid);
+    random_gauge(SiteRNG(31), g);
+    p512 = average_plaquette(g);
+  }
+  {
+    sve::VLGuard vl(128);
+    lattice::GridCartesian grid({4, 4, 4, 4},
+                                lattice::GridCartesian::default_simd_layout(S128::Nsimd()));
+    GaugeField<S128> g(&grid);
+    random_gauge(SiteRNG(31), g);
+    p128 = average_plaquette(g);
+  }
+  EXPECT_NEAR(p512, p128, 1e-13);
+}
+
+}  // namespace
+}  // namespace svelat::qcd

@@ -1,0 +1,228 @@
+// Wilson Dirac operator verification -- the core of the paper's Sec. V-D:
+// the vectorized (SVE) implementation must agree with the scalar reference
+// for every vector length and backend, and satisfy the operator identities.
+#include "qcd/wilson.h"
+
+#include <gtest/gtest.h>
+
+#include "qcd/plaquette.h"
+#include "sve/sve.h"
+
+namespace svelat::qcd {
+namespace {
+
+using C = std::complex<double>;
+
+template <typename S>
+struct WilsonFixture {
+  using Fermion = LatticeFermion<S>;
+
+  explicit WilsonFixture(lattice::Coordinate dims = {4, 4, 4, 4}, unsigned seed = 42)
+      : vl(8 * S::vlb),
+        grid(dims, lattice::GridCartesian::default_simd_layout(S::Nsimd())),
+        gauge(&grid),
+        psi(&grid) {
+    random_gauge(SiteRNG(seed), gauge);
+    gaussian_fill(SiteRNG(seed + 1000), psi);
+  }
+
+  sve::VLGuard vl;
+  lattice::GridCartesian grid;
+  GaugeField<S> gauge;
+  Fermion psi;
+};
+
+template <typename S>
+double dhop_vs_reference() {
+  WilsonFixture<S> f;
+  typename WilsonFixture<S>::Fermion out_simd(&f.grid), out_ref(&f.grid);
+  const WilsonDirac<S> dirac(f.gauge, 0.1);
+  dirac.dhop(f.psi, out_simd);
+  dhop_reference(f.gauge, f.psi, out_ref);
+  return norm2(out_simd - out_ref) / norm2(out_ref);
+}
+
+TEST(Wilson, DhopMatchesReference512Fcmla) {
+  EXPECT_LT((dhop_vs_reference<simd::SimdComplex<double, simd::kVLB512, simd::SveFcmla>>()),
+            1e-24);
+}
+TEST(Wilson, DhopMatchesReference256Fcmla) {
+  EXPECT_LT((dhop_vs_reference<simd::SimdComplex<double, simd::kVLB256, simd::SveFcmla>>()),
+            1e-24);
+}
+TEST(Wilson, DhopMatchesReference128Fcmla) {
+  EXPECT_LT((dhop_vs_reference<simd::SimdComplex<double, simd::kVLB128, simd::SveFcmla>>()),
+            1e-24);
+}
+TEST(Wilson, DhopMatchesReference512Real) {
+  EXPECT_LT((dhop_vs_reference<simd::SimdComplex<double, simd::kVLB512, simd::SveReal>>()),
+            1e-24);
+}
+TEST(Wilson, DhopMatchesReference512Generic) {
+  EXPECT_LT((dhop_vs_reference<simd::SimdComplex<double, simd::kVLB512, simd::Generic>>()),
+            1e-24);
+}
+TEST(Wilson, DhopMatchesReferenceFloat512) {
+  EXPECT_LT((dhop_vs_reference<simd::SimdComplex<float, simd::kVLB512, simd::SveFcmla>>()),
+            1e-9);
+}
+
+TEST(Wilson, DhopBitIdenticalAcrossVectorLengths) {
+  // Strict Sec. V-D criterion: identical inputs (layout-keyed RNG) must
+  // yield *bit-identical* Dhop outputs for every VL and backend, because
+  // all paths evaluate the same real-arithmetic expressions.
+  using S512 = simd::SimdComplex<double, simd::kVLB512, simd::SveFcmla>;
+  using S256 = simd::SimdComplex<double, simd::kVLB256, simd::SveReal>;
+  using S128 = simd::SimdComplex<double, simd::kVLB128, simd::Generic>;
+
+  auto run = [](auto tag) {
+    using S = decltype(tag);
+    WilsonFixture<S> f({4, 4, 4, 4}, 7);
+    typename WilsonFixture<S>::Fermion out(&f.grid);
+    const WilsonDirac<S> dirac(f.gauge, 0.1);
+    dirac.dhop(f.psi, out);
+    // Serialize by global coordinate.
+    std::vector<C> flat;
+    for (int x = 0; x < 4; ++x)
+      for (int y = 0; y < 4; ++y)
+        for (int z = 0; z < 4; ++z)
+          for (int t = 0; t < 4; ++t) {
+            const auto s = out.peek({x, y, z, t});
+            for (int sp = 0; sp < Ns; ++sp)
+              for (int c = 0; c < Nc; ++c) flat.push_back(s(sp)(c));
+          }
+    return flat;
+  };
+
+  const auto a = run(S512{});
+  const auto b = run(S256{});
+  const auto c = run(S128{});
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_EQ(a.size(), c.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i], b[i]) << i;
+    EXPECT_EQ(a[i], c[i]) << i;
+  }
+}
+
+TEST(Wilson, Gamma5Hermiticity) {
+  // <a, gamma5 M gamma5 b> == conj(<b, M a>): gamma5-hermiticity of the
+  // Wilson operator, the standard operator-level sanity check.
+  using S = simd::SimdComplex<double, simd::kVLB512, simd::SveFcmla>;
+  WilsonFixture<S> f;
+  const WilsonDirac<S> dirac(f.gauge, 0.05);
+  LatticeFermion<S> a(&f.grid), b(&f.grid), ma(&f.grid), g5mg5b(&f.grid);
+  gaussian_fill(SiteRNG(1), a);
+  gaussian_fill(SiteRNG(2), b);
+  dirac.m(a, ma);
+
+  LatticeFermion<S> tmp(&f.grid);
+  WilsonDirac<S>::apply_gamma5(b, tmp);
+  LatticeFermion<S> mtmp(&f.grid);
+  dirac.m(tmp, mtmp);
+  WilsonDirac<S>::apply_gamma5(mtmp, g5mg5b);
+
+  const C lhs = innerProduct(a, g5mg5b);   // <a, g5 M g5 b> = <a, Mdag b>
+  const C rhs = std::conj(innerProduct(b, ma));  // conj <b, M a>
+  EXPECT_NEAR(std::abs(lhs - rhs), 0.0, 1e-10 * std::abs(rhs) + 1e-10);
+}
+
+TEST(Wilson, MdagIsAdjointOfM) {
+  using S = simd::SimdComplex<double, simd::kVLB256, simd::SveFcmla>;
+  WilsonFixture<S> f;
+  const WilsonDirac<S> dirac(f.gauge, 0.2);
+  LatticeFermion<S> a(&f.grid), b(&f.grid), ma(&f.grid), mdagb(&f.grid);
+  gaussian_fill(SiteRNG(3), a);
+  gaussian_fill(SiteRNG(4), b);
+  dirac.m(a, ma);
+  dirac.mdag(b, mdagb);
+  const C lhs = innerProduct(mdagb, a);  // <Mdag b, a> = <b, M a>
+  const C rhs = innerProduct(b, ma);
+  EXPECT_NEAR(std::abs(lhs - rhs), 0.0, 1e-10 * std::abs(rhs) + 1e-10);
+}
+
+TEST(Wilson, MdagMIsHermitianPositive) {
+  using S = simd::SimdComplex<double, simd::kVLB512, simd::SveReal>;
+  WilsonFixture<S> f;
+  const WilsonDirac<S> dirac(f.gauge, 0.1);
+  LatticeFermion<S> a(&f.grid), b(&f.grid), mma(&f.grid), mmb(&f.grid);
+  gaussian_fill(SiteRNG(5), a);
+  gaussian_fill(SiteRNG(6), b);
+  dirac.mdag_m(a, mma);
+  dirac.mdag_m(b, mmb);
+  const C h1 = innerProduct(a, mmb);
+  const C h2 = std::conj(innerProduct(b, mma));
+  EXPECT_NEAR(std::abs(h1 - h2), 0.0, 1e-10 * std::abs(h1) + 1e-10);
+  EXPECT_GT(innerProduct(a, mma).real(), 0.0);
+}
+
+TEST(Wilson, FreeFieldDhopOnConstantSpinor) {
+  // With unit links and a constant field, Dh psi = 8 psi
+  // (sum over 8 hops, each (1 +/- gamma) contributing psi + gamma terms
+  // that cancel pairwise between +mu and -mu).
+  using S = simd::SimdComplex<double, simd::kVLB512, simd::SveFcmla>;
+  sve::VLGuard vl(512);
+  lattice::GridCartesian grid({4, 4, 4, 4},
+                              lattice::GridCartesian::default_simd_layout(S::Nsimd()));
+  GaugeField<S> gauge(&grid);
+  unit_gauge(gauge);
+  LatticeFermion<S> psi(&grid), out(&grid);
+  using sobj = LatticeFermion<S>::scalar_object;
+  sobj s = tensor::Zero<sobj>();
+  for (int sp = 0; sp < Ns; ++sp)
+    for (int c = 0; c < Nc; ++c) s(sp)(c) = C(1.0 + sp, 0.5 * c);
+  for (std::int64_t o = 0; o < grid.osites(); ++o)
+    for (unsigned l = 0; l < grid.isites(); ++l) psi.poke(grid.global_coor(o, l), s);
+
+  const WilsonDirac<S> dirac(gauge, 0.0);
+  dirac.dhop(psi, out);
+  const auto got = out.peek({1, 2, 3, 0});
+  for (int sp = 0; sp < Ns; ++sp)
+    for (int c = 0; c < Nc; ++c)
+      EXPECT_NEAR(std::abs(got(sp)(c) - 8.0 * s(sp)(c)), 0.0, 1e-11);
+}
+
+TEST(Wilson, DhopGaugeCovariant) {
+  // (Dh psi) transforms like psi: V(x) (Dh psi)(x) == Dh'[V U] (V psi)(x).
+  using S = simd::SimdComplex<double, simd::kVLB512, simd::SveFcmla>;
+  WilsonFixture<S> f;
+  LatticeFermion<S> out(&f.grid), out_t(&f.grid);
+  const WilsonDirac<S> dirac(f.gauge, 0.0);
+  dirac.dhop(f.psi, out);
+
+  lattice::Lattice<ColourMatrix<S>> v(&f.grid);
+  random_colour_transform(SiteRNG(77), v);
+  GaugeField<S> gauge_t = f.gauge;
+  gauge_transform(gauge_t, v);
+  LatticeFermion<S> psi_t = f.psi;
+  gauge_transform(psi_t, v);
+  const WilsonDirac<S> dirac_t(gauge_t, 0.0);
+  dirac_t.dhop(psi_t, out_t);
+
+  gauge_transform(out, v);  // V (Dh psi)
+  const double rel = norm2(out_t - out) / norm2(out);
+  EXPECT_LT(rel, 1e-20);
+}
+
+TEST(Wilson, TranslationCovariance) {
+  // Dh commutes with lattice translations: Dh(Cshift psi) with shifted
+  // gauge field equals Cshift(Dh psi).
+  using S = simd::SimdComplex<double, simd::kVLB256, simd::SveFcmla>;
+  WilsonFixture<S> f;
+  const int mu = 2;
+  // Shift everything by one site in direction mu.
+  GaugeField<S> gauge_s(&f.grid);
+  for (int nu = 0; nu < lattice::Nd; ++nu) gauge_s.U[nu] = lattice::Cshift(f.gauge.U[nu], mu, +1);
+  const LatticeFermion<S> psi_s = lattice::Cshift(f.psi, mu, +1);
+
+  LatticeFermion<S> out(&f.grid), out_s(&f.grid);
+  const WilsonDirac<S> dirac(f.gauge, 0.0);
+  const WilsonDirac<S> dirac_s(gauge_s, 0.0);
+  dirac.dhop(f.psi, out);
+  dirac_s.dhop(psi_s, out_s);
+  const LatticeFermion<S> expect = lattice::Cshift(out, mu, +1);
+  EXPECT_LT(norm2(out_s - expect) / norm2(expect), 1e-24);
+}
+
+}  // namespace
+}  // namespace svelat::qcd

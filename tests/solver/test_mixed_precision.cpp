@@ -1,0 +1,102 @@
+// Mixed-precision defect-correction solver tests.
+#include "solver/mixed_precision.h"
+
+#include <gtest/gtest.h>
+
+#include "sve/sve.h"
+
+namespace svelat::solver {
+namespace {
+
+using Sd = simd::SimdComplex<double, simd::kVLB512, simd::SveFcmla>;
+using Sf = simd::SimdComplex<float, simd::kVLB512, simd::SveFcmla>;
+using Fd = qcd::LatticeFermion<Sd>;
+
+class MixedTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    sve::set_vector_length(512);
+    grid_ = std::make_unique<lattice::GridCartesian>(
+        lattice::Coordinate{4, 4, 4, 8},
+        lattice::GridCartesian::default_simd_layout(Sd::Nsimd()));
+    gauge_ = std::make_unique<qcd::GaugeField<Sd>>(grid_.get());
+    qcd::random_gauge(SiteRNG(42), *gauge_);
+    b_ = std::make_unique<Fd>(grid_.get());
+    x_ = std::make_unique<Fd>(grid_.get());
+    gaussian_fill(SiteRNG(21), *b_);
+    x_->set_zero();
+  }
+
+  std::unique_ptr<lattice::GridCartesian> grid_;
+  std::unique_ptr<qcd::GaugeField<Sd>> gauge_;
+  std::unique_ptr<Fd> b_, x_;
+};
+
+TEST_F(MixedTest, ConvertFieldRoundtripExactForFloatData) {
+  // double -> float -> double is exact when the data is float-representable.
+  lattice::GridCartesian grid_f(grid_->fdimensions(),
+                                lattice::GridCartesian::default_simd_layout(Sf::Nsimd()));
+  qcd::LatticeFermion<Sf> f(&grid_f);
+  Fd d(grid_.get()), back(grid_.get());
+  d.set_zero();
+  using sobj = Fd::scalar_object;
+  sobj s = tensor::Zero<sobj>();
+  s(1)(2) = std::complex<double>(0.5, -0.25);
+  d.poke({1, 2, 3, 4}, s);
+  convert_field(f, d);
+  convert_field(back, f);
+  EXPECT_EQ(norm2(back - d), 0.0);
+  // And the float field sees the value at the same global coordinate.
+  const auto sf = f.peek({1, 2, 3, 4});
+  EXPECT_EQ(sf(1)(2), (std::complex<float>{0.5f, -0.25f}));
+}
+
+TEST_F(MixedTest, ConvertFieldRoundsToFloat) {
+  Fd d(grid_.get()), back(grid_.get());
+  gaussian_fill(SiteRNG(3), d);
+  lattice::GridCartesian grid_f(grid_->fdimensions(),
+                                lattice::GridCartesian::default_simd_layout(Sf::Nsimd()));
+  qcd::LatticeFermion<Sf> f(&grid_f);
+  convert_field(f, d);
+  convert_field(back, f);
+  const double rel = std::sqrt(norm2(back - d) / norm2(d));
+  EXPECT_GT(rel, 0.0);       // lossy
+  EXPECT_LT(rel, 1e-7);      // but only at float epsilon level
+}
+
+TEST_F(MixedTest, ConvergesToDoublePrecisionTolerance) {
+  const auto stats = solve_wilson_mixed<Sd, Sf>(*gauge_, 0.2, *b_, *x_,
+                                                /*tol=*/1e-10, /*inner_tol=*/1e-4,
+                                                /*max_outer=*/20, /*max_inner=*/400);
+  EXPECT_TRUE(stats.converged);
+  EXPECT_LT(stats.true_residual, 1e-9);
+  EXPECT_GE(stats.outer_iterations, 2);  // genuinely iterated defect correction
+  EXPECT_GT(stats.inner_iterations_total, 0);
+}
+
+TEST_F(MixedTest, MatchesDoubleSolve) {
+  const qcd::WilsonDirac<Sd> dirac(*gauge_, 0.2);
+  Fd x_double(grid_.get());
+  x_double.set_zero();
+  const auto s_mixed = solve_wilson_mixed<Sd, Sf>(*gauge_, 0.2, *b_, *x_, 1e-10, 1e-4,
+                                                  20, 400);
+  const auto s_double = solve_wilson(dirac, *b_, x_double, 1e-10, 800);
+  ASSERT_TRUE(s_mixed.converged);
+  ASSERT_TRUE(s_double.converged);
+  EXPECT_LT(norm2(*x_ - x_double) / norm2(x_double), 1e-16);
+}
+
+TEST_F(MixedTest, TighterInnerToleranceFewerOuterIterations) {
+  Fd x2(grid_.get());
+  x2.set_zero();
+  const auto loose = solve_wilson_mixed<Sd, Sf>(*gauge_, 0.2, *b_, *x_, 1e-9, 1e-2,
+                                                40, 400);
+  const auto tight = solve_wilson_mixed<Sd, Sf>(*gauge_, 0.2, *b_, x2, 1e-9, 1e-5,
+                                                40, 400);
+  ASSERT_TRUE(loose.converged);
+  ASSERT_TRUE(tight.converged);
+  EXPECT_LT(tight.outer_iterations, loose.outer_iterations);
+}
+
+}  // namespace
+}  // namespace svelat::solver

@@ -1,0 +1,43 @@
+// Unit tests for aligned allocation.
+#include "support/aligned.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+
+namespace svelat {
+namespace {
+
+TEST(Aligned, VectorStorageIsMaxVectorAligned) {
+  for (std::size_t n : {1u, 3u, 17u, 1000u}) {
+    AlignedVector<double> v(n, 1.0);
+    EXPECT_TRUE(is_aligned(v.data(), kMaxVectorBytes)) << "n=" << n;
+  }
+}
+
+TEST(Aligned, DifferentElementTypes) {
+  AlignedVector<float> f(33);
+  AlignedVector<std::uint16_t> h(7);
+  EXPECT_TRUE(is_aligned(f.data(), kMaxVectorBytes));
+  EXPECT_TRUE(is_aligned(h.data(), kMaxVectorBytes));
+}
+
+TEST(Aligned, VectorBehavesLikeStdVector) {
+  AlignedVector<int> v(10);
+  std::iota(v.begin(), v.end(), 0);
+  v.push_back(10);
+  EXPECT_EQ(v.size(), 11u);
+  for (int i = 0; i <= 10; ++i) EXPECT_EQ(v[static_cast<std::size_t>(i)], i);
+  AlignedVector<int> copy = v;
+  EXPECT_EQ(copy, v);
+}
+
+TEST(Aligned, IsAlignedHelper) {
+  alignas(64) char buf[128];
+  EXPECT_TRUE(is_aligned(buf, 64));
+  EXPECT_FALSE(is_aligned(buf + 1, 2));
+}
+
+}  // namespace
+}  // namespace svelat

@@ -1,0 +1,115 @@
+// Unit tests for the binary16 software float.
+#include "support/half.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace svelat {
+namespace {
+
+TEST(Half, ZeroRoundtrip) {
+  EXPECT_EQ(half(0.0f).bits(), 0x0000u);
+  EXPECT_EQ(half(-0.0f).bits(), 0x8000u);
+  EXPECT_EQ(float(half(0.0f)), 0.0f);
+  EXPECT_TRUE(half(0.0f).is_zero());
+  EXPECT_TRUE(half(-0.0f).is_zero());
+  EXPECT_TRUE(half(-0.0f).signbit());
+}
+
+TEST(Half, KnownBitPatterns) {
+  EXPECT_EQ(half(1.0f).bits(), 0x3c00u);
+  EXPECT_EQ(half(-1.0f).bits(), 0xbc00u);
+  EXPECT_EQ(half(2.0f).bits(), 0x4000u);
+  EXPECT_EQ(half(0.5f).bits(), 0x3800u);
+  EXPECT_EQ(half(65504.0f).bits(), 0x7bffu);  // largest finite
+  EXPECT_EQ(half(0.0000610352f).bits(), 0x0400u);  // smallest normal 2^-14
+}
+
+TEST(Half, OverflowToInfinity) {
+  EXPECT_TRUE(half(65520.0f).is_inf());  // first value that rounds to inf
+  EXPECT_TRUE(half(1.0e6f).is_inf());
+  EXPECT_TRUE(half(-1.0e6f).is_inf());
+  EXPECT_TRUE(half(-1.0e6f).signbit());
+  EXPECT_FALSE(half(65504.0f).is_inf());
+  // 65519 rounds down to 65504 (ties and below go to max finite).
+  EXPECT_EQ(half(65519.0f).bits(), 0x7bffu);
+}
+
+TEST(Half, SubnormalRange) {
+  // Smallest positive subnormal is 2^-24.
+  const float tiny = std::ldexp(1.0f, -24);
+  EXPECT_EQ(half(tiny).bits(), 0x0001u);
+  EXPECT_FLOAT_EQ(float(half(tiny)), tiny);
+  // Half of that rounds to zero (ties-to-even at bit pattern 0).
+  EXPECT_EQ(half(std::ldexp(1.0f, -26)).bits(), 0x0000u);
+  // A mid-range subnormal roundtrips.
+  const float sub = std::ldexp(1.0f, -20);
+  EXPECT_FLOAT_EQ(float(half(sub)), sub);
+}
+
+TEST(Half, RoundToNearestEven) {
+  // 1 + 2^-11 is exactly halfway between 1.0 and 1+2^-10: ties to even -> 1.0.
+  EXPECT_EQ(half(1.0f + std::ldexp(1.0f, -11)).bits(), 0x3c00u);
+  // 1 + 3*2^-11 is halfway between 1+2^-10 and 1+2^-9: ties to even -> 1+2^-9.
+  EXPECT_EQ(half(1.0f + 3 * std::ldexp(1.0f, -11)).bits(), 0x3c02u);
+  // Clearly above the halfway point (1 + 1.5*2^-11) rounds up.
+  EXPECT_EQ(half(1.0f + std::ldexp(3.0f, -12)).bits(), 0x3c01u);
+}
+
+TEST(Half, MantissaCarryIntoExponent) {
+  // 2047/1024 rounds up to 2.0 (mantissa overflow increments exponent).
+  EXPECT_EQ(half(2.0f - std::ldexp(1.0f, -11)).bits(), 0x4000u);
+}
+
+TEST(Half, NanPropagation) {
+  const half n(std::numeric_limits<float>::quiet_NaN());
+  EXPECT_TRUE(n.is_nan());
+  EXPECT_TRUE(std::isnan(float(n)));
+  EXPECT_FALSE(half::infinity().is_nan());
+  EXPECT_TRUE(half::infinity().is_inf());
+}
+
+TEST(Half, InfinityRoundtrip) {
+  const float inf = std::numeric_limits<float>::infinity();
+  EXPECT_EQ(float(half(inf)), inf);
+  EXPECT_EQ(float(half(-inf)), -inf);
+}
+
+TEST(Half, ExhaustiveRoundtripThroughFloat) {
+  // Every finite half value must roundtrip bit-exactly through float.
+  for (std::uint32_t b = 0; b <= 0xffffu; ++b) {
+    const half h = half::from_bits(static_cast<std::uint16_t>(b));
+    if (h.is_nan()) continue;  // NaN payloads may legally change
+    const half back{float(h)};
+    EXPECT_EQ(back.bits(), h.bits()) << "bits=" << b;
+  }
+}
+
+TEST(Half, Arithmetic) {
+  EXPECT_EQ(float(half(1.5f) + half(2.25f)), 3.75f);
+  EXPECT_EQ(float(half(3.0f) * half(0.5f)), 1.5f);
+  EXPECT_EQ(float(half(1.0f) - half(4.0f)), -3.0f);
+  EXPECT_EQ(float(half(1.0f) / half(4.0f)), 0.25f);
+  EXPECT_EQ(float(-half(2.0f)), -2.0f);
+}
+
+TEST(Half, Comparisons) {
+  EXPECT_LT(half(1.0f), half(2.0f));
+  EXPECT_GT(half(-1.0f), half(-2.0f));
+  EXPECT_EQ(half(0.0f), half(-0.0f));  // IEEE: +0 == -0
+  EXPECT_LE(half(1.0f), half(1.0f));
+}
+
+TEST(Half, ConversionErrorBounded) {
+  // Relative conversion error of normal values is at most 2^-11.
+  for (float f : {0.1f, 0.3f, 1.7f, 123.456f, 1000.0f, 3.14159f}) {
+    const float back = float(half(f));
+    EXPECT_NEAR(back, f, std::abs(f) * 0x1.0p-11f + 1e-12f) << f;
+  }
+}
+
+}  // namespace
+}  // namespace svelat

@@ -1,0 +1,171 @@
+// Real-arithmetic intrinsic tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sve/sve.h"
+#include "sve_test_util.h"
+
+namespace svelat::sve {
+namespace {
+
+using testing::make_reg;
+using testing::VLTest;
+
+class ArithTest : public VLTest {};
+
+TEST_P(ArithTest, DupBroadcasts) {
+  const svfloat64_t v = svdup_f64(3.25);
+  for (unsigned i = 0; i < lanes<double>(); ++i) EXPECT_EQ(v.lane[i], 3.25);
+}
+
+TEST_P(ArithTest, IndexProducesArithmeticSequence) {
+  const auto v = svindex<std::uint64_t>(10, 3);
+  for (unsigned i = 0; i < lanes<std::uint64_t>(); ++i)
+    EXPECT_EQ(v.lane[i], 10 + 3 * static_cast<std::uint64_t>(i));
+}
+
+TEST_P(ArithTest, BinaryOpsLanewise) {
+  const auto a = make_reg<double>(1);
+  const auto b = make_reg<double>(2);
+  const svbool_t pg = svptrue_b64();
+  const auto sum = svadd_x(pg, a, b);
+  const auto dif = svsub_x(pg, a, b);
+  const auto prd = svmul_x(pg, a, b);
+  const auto mx = svmax_x(pg, a, b);
+  const auto mn = svmin_x(pg, a, b);
+  for (unsigned i = 0; i < lanes<double>(); ++i) {
+    EXPECT_EQ(sum.lane[i], a.lane[i] + b.lane[i]) << i;
+    EXPECT_EQ(dif.lane[i], a.lane[i] - b.lane[i]) << i;
+    EXPECT_EQ(prd.lane[i], a.lane[i] * b.lane[i]) << i;
+    EXPECT_EQ(mx.lane[i], std::max(a.lane[i], b.lane[i])) << i;
+    EXPECT_EQ(mn.lane[i], std::min(a.lane[i], b.lane[i])) << i;
+  }
+}
+
+TEST_P(ArithTest, DivAndSqrt) {
+  const svbool_t pg = svptrue_b64();
+  const auto a = svdup_f64(9.0);
+  const auto b = svdup_f64(4.0);
+  const auto q = svdiv_x(pg, a, b);
+  const auto s = svsqrt_x(pg, a);
+  for (unsigned i = 0; i < lanes<double>(); ++i) {
+    EXPECT_DOUBLE_EQ(q.lane[i], 2.25);
+    EXPECT_DOUBLE_EQ(s.lane[i], 3.0);
+  }
+}
+
+TEST_P(ArithTest, MergePredicationKeepsFirstOperand) {
+  const auto a = svdup_f64(1.0);
+  const auto b = svdup_f64(2.0);
+  const auto r = svadd_m(svwhilelt_b64(0, 1), a, b);
+  EXPECT_EQ(r.lane[0], 3.0);
+  for (unsigned i = 1; i < lanes<double>(); ++i) EXPECT_EQ(r.lane[i], 1.0) << i;
+}
+
+TEST_P(ArithTest, ZeroPredicationZeroesInactive) {
+  const auto a = svdup_f64(1.0);
+  const auto b = svdup_f64(2.0);
+  const auto r = svadd_z(svwhilelt_b64(0, 1), a, b);
+  EXPECT_EQ(r.lane[0], 3.0);
+  for (unsigned i = 1; i < lanes<double>(); ++i) EXPECT_EQ(r.lane[i], 0.0) << i;
+}
+
+TEST_P(ArithTest, UnaryOps) {
+  const auto a = make_reg<double>(3);
+  const svbool_t pg = svptrue_b64();
+  const auto neg = svneg_x(pg, a);
+  const auto abs = svabs_x(pg, a);
+  for (unsigned i = 0; i < lanes<double>(); ++i) {
+    EXPECT_EQ(neg.lane[i], -a.lane[i]);
+    EXPECT_EQ(abs.lane[i], std::abs(a.lane[i]));
+  }
+}
+
+TEST_P(ArithTest, FusedMultiplyFamily) {
+  const auto acc = make_reg<double>(4);
+  const auto a = make_reg<double>(5);
+  const auto b = make_reg<double>(6);
+  const svbool_t pg = svptrue_b64();
+  const auto mla = svmla_x(pg, acc, a, b);
+  const auto mls = svmls_x(pg, acc, a, b);
+  const auto nmla = svnmla_x(pg, acc, a, b);
+  const auto nmls = svnmls_x(pg, acc, a, b);
+  for (unsigned i = 0; i < lanes<double>(); ++i) {
+    const double z = acc.lane[i], p = a.lane[i] * b.lane[i];
+    EXPECT_DOUBLE_EQ(mla.lane[i], z + p) << i;
+    EXPECT_DOUBLE_EQ(mls.lane[i], z - p) << i;
+    EXPECT_DOUBLE_EQ(nmla.lane[i], -z - p) << i;
+    EXPECT_DOUBLE_EQ(nmls.lane[i], -z + p) << i;
+  }
+}
+
+TEST_P(ArithTest, FmlaInactiveKeepsAccumulator) {
+  const auto acc = svdup_f64(10.0);
+  const auto a = svdup_f64(2.0);
+  const auto b = svdup_f64(3.0);
+  const auto r = svmla_x(svwhilelt_b64(0, 1), acc, a, b);
+  EXPECT_EQ(r.lane[0], 16.0);
+  for (unsigned i = 1; i < lanes<double>(); ++i) EXPECT_EQ(r.lane[i], 10.0);
+}
+
+TEST_P(ArithTest, SelMixesByPredicate) {
+  const auto a = svdup_f64(1.0);
+  const auto b = svdup_f64(-1.0);
+  const auto r = svsel(svwhilelt_b64(0, 2), a, b);
+  for (unsigned i = 0; i < lanes<double>(); ++i)
+    EXPECT_EQ(r.lane[i], i < 2u ? 1.0 : -1.0) << i;
+}
+
+TEST_P(ArithTest, FloatLanes) {
+  const auto a = make_reg<float>(7);
+  const auto b = make_reg<float>(8);
+  const auto r = svmul_x(svptrue_b32(), a, b);
+  for (unsigned i = 0; i < lanes<float>(); ++i)
+    EXPECT_EQ(r.lane[i], a.lane[i] * b.lane[i]) << i;
+}
+
+TEST_P(ArithTest, HalfLanes) {
+  const auto a = svdup_f16(half(1.5f));
+  const auto b = svdup_f16(half(2.0f));
+  const auto r = svadd_x(svptrue_b16(), a, b);
+  for (unsigned i = 0; i < lanes<half>(); ++i) EXPECT_EQ(float(r.lane[i]), 3.5f) << i;
+}
+
+TEST_P(ArithTest, IntegerOps) {
+  const auto a = svindex<std::uint64_t>(0, 1);
+  const auto b = svdup<std::uint64_t>(5);
+  const auto sum = svadd_int_x(svptrue_b64(), a, b);
+  const auto shl = svlsl_int_x(svptrue_b64(), a, 2);
+  for (unsigned i = 0; i < lanes<std::uint64_t>(); ++i) {
+    EXPECT_EQ(sum.lane[i], i + 5u);
+    EXPECT_EQ(shl.lane[i], static_cast<std::uint64_t>(i) << 2);
+  }
+}
+
+TEST_P(ArithTest, Compares) {
+  const auto a = svindex<std::uint64_t>(0, 1);
+  const auto b = svdup<std::uint64_t>(2);
+  const svbool_t pg = svptrue_b64();
+  const svbool_t lt = svcmplt(pg, a, b);
+  const svbool_t eq = svcmpeq(pg, a, b);
+  const svbool_t gt = svcmpgt(pg, a, b);
+  for (unsigned i = 0; i < lanes<std::uint64_t>(); ++i) {
+    EXPECT_EQ(detail::pred_elem<std::uint64_t>(lt, i), i < 2u) << i;
+    EXPECT_EQ(detail::pred_elem<std::uint64_t>(eq, i), i == 2u) << i;
+    EXPECT_EQ(detail::pred_elem<std::uint64_t>(gt, i), i > 2u) << i;
+  }
+}
+
+TEST_P(ArithTest, InactiveStorageAboveVLIsZero) {
+  // Lanes beyond the configured VL must never carry stale values.
+  const auto v = svdup_f64(9.0);
+  for (unsigned i = lanes<double>(); i < svfloat64_t::kMaxLanes; ++i)
+    EXPECT_EQ(v.lane[i], 0.0) << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllVL, ArithTest,
+                         ::testing::ValuesIn(testing::all_vector_lengths()));
+
+}  // namespace
+}  // namespace svelat::sve

@@ -1,0 +1,58 @@
+// Vector-length configuration tests.
+#include <gtest/gtest.h>
+
+#include "sve/sve.h"
+#include "sve_test_util.h"
+
+namespace svelat::sve {
+namespace {
+
+TEST(SveConfig, ValidLengths) {
+  for (unsigned bits : testing::all_vector_lengths()) {
+    EXPECT_TRUE(is_valid_vector_length(bits)) << bits;
+  }
+  EXPECT_EQ(testing::all_vector_lengths().size(), 16u);
+}
+
+TEST(SveConfig, InvalidLengths) {
+  EXPECT_FALSE(is_valid_vector_length(0));
+  EXPECT_FALSE(is_valid_vector_length(64));
+  EXPECT_FALSE(is_valid_vector_length(192));  // not a multiple of 128
+  EXPECT_FALSE(is_valid_vector_length(2176));
+  EXPECT_FALSE(is_valid_vector_length(100));
+}
+
+TEST(SveConfig, SetAndQuery) {
+  VLGuard guard(256);
+  EXPECT_EQ(vector_bits(), 256u);
+  EXPECT_EQ(vector_bytes(), 32u);
+  EXPECT_EQ(lanes<double>(), 4u);
+  EXPECT_EQ(lanes<float>(), 8u);
+  EXPECT_EQ(lanes<half>(), 16u);
+}
+
+TEST(SveConfig, VLGuardRestores) {
+  set_vector_length(512);
+  {
+    VLGuard guard(1024);
+    EXPECT_EQ(vector_bits(), 1024u);
+    {
+      VLGuard inner(128);
+      EXPECT_EQ(vector_bits(), 128u);
+    }
+    EXPECT_EQ(vector_bits(), 1024u);
+  }
+  EXPECT_EQ(vector_bits(), 512u);
+}
+
+TEST(SveConfig, LaneCountsScaleWithVL) {
+  for (unsigned bits : testing::all_vector_lengths()) {
+    VLGuard guard(bits);
+    EXPECT_EQ(lanes<double>() * 64, bits);
+    EXPECT_EQ(lanes<float>() * 32, bits);
+    EXPECT_EQ(lanes<std::uint16_t>() * 16, bits);
+  }
+}
+
+}  // namespace
+}  // namespace svelat::sve

@@ -1,0 +1,132 @@
+// Instruction-counter and tracer tests (the ArmIE-substitute machinery).
+#include <gtest/gtest.h>
+
+#include "support/aligned.h"
+#include "sve/sve.h"
+#include "sve_test_util.h"
+
+namespace svelat::sve {
+namespace {
+
+TEST(Counters, ScopeCapturesDelta) {
+  VLGuard vl(512);
+  CounterScope scope;
+  const svbool_t pg = svptrue_b64();
+  const svfloat64_t a = svdup_f64(1.0);
+  const svfloat64_t b = svdup_f64(2.0);
+  (void)svmul_x(pg, a, b);
+  (void)svmul_x(pg, a, b);
+  (void)svadd_x(pg, a, b);
+  const InsnCounters d = scope.delta();
+  EXPECT_EQ(d[InsnClass::kFMul], 2u);
+  EXPECT_EQ(d[InsnClass::kFAddSub], 1u);
+  EXPECT_EQ(d[InsnClass::kDup], 2u);
+  EXPECT_EQ(d[InsnClass::kPredicate], 1u);
+  EXPECT_EQ(d.total(), 6u);
+}
+
+TEST(Counters, NestedScopes) {
+  VLGuard vl(256);
+  CounterScope outer;
+  (void)svdup_f64(0.0);
+  {
+    CounterScope inner;
+    (void)svdup_f64(1.0);
+    EXPECT_EQ(inner.delta().total(), 1u);
+  }
+  EXPECT_EQ(outer.delta().total(), 2u);
+}
+
+TEST(Counters, MemoryAndComputeBuckets) {
+  VLGuard vl(512);
+  AlignedVector<double> buf(lanes<double>(), 1.0);
+  CounterScope scope;
+  const svbool_t pg = svptrue_b64();
+  const svfloat64_t v = svld1(pg, buf.data());
+  const svfloat64_t w = svcmla_x(pg, v, v, v, 90);
+  svst1(pg, buf.data(), w);
+  const InsnCounters d = scope.delta();
+  EXPECT_EQ(d.memory_insns(), 2u);
+  EXPECT_EQ(d.flops_insns(), 1u);
+  EXPECT_EQ(d[InsnClass::kFCmla], 1u);
+}
+
+TEST(Counters, StructuredLoadsCountedSeparately) {
+  VLGuard vl(512);
+  AlignedVector<double> buf(2 * lanes<double>(), 1.0);
+  CounterScope scope;
+  const svbool_t pg = svptrue_b64();
+  const auto t = svld2(pg, buf.data());
+  svst2(pg, buf.data(), t);
+  const InsnCounters d = scope.delta();
+  EXPECT_EQ(d[InsnClass::kStructLoad], 1u);
+  EXPECT_EQ(d[InsnClass::kStructStore], 1u);
+  EXPECT_EQ(d[InsnClass::kLoad], 0u);
+}
+
+TEST(Counters, ReportListsNonZeroClasses) {
+  VLGuard vl(512);
+  CounterScope scope;
+  (void)svdup_f64(1.0);
+  const std::string rep = scope.delta().report();
+  EXPECT_NE(rep.find("dup"), std::string::npos);
+  EXPECT_NE(rep.find("total"), std::string::npos);
+  EXPECT_EQ(rep.find("fcmla"), std::string::npos);  // untouched class absent
+}
+
+TEST(Tracer, CapturesMnemonics) {
+  VLGuard vl(512);
+  Tracer tracer;
+  {
+    TraceScope scope(tracer);
+    const svbool_t pg = svptrue_b64();
+    const svfloat64_t a = svdup_f64(1.0);
+    (void)svcmla_x(pg, a, a, a, 90);
+  }
+  ASSERT_EQ(tracer.lines().size(), 3u);
+  EXPECT_NE(tracer.lines()[0].find("ptrue"), std::string::npos);
+  EXPECT_NE(tracer.lines()[1].find("dup"), std::string::npos);
+  EXPECT_NE(tracer.lines()[2].find("fcmla"), std::string::npos);
+  EXPECT_NE(tracer.lines()[2].find("#90"), std::string::npos);
+}
+
+TEST(Tracer, NoTracingAfterScopeEnds) {
+  VLGuard vl(512);
+  Tracer tracer;
+  {
+    TraceScope scope(tracer);
+    (void)svdup_f64(1.0);
+  }
+  (void)svdup_f64(2.0);  // not traced
+  EXPECT_EQ(tracer.lines().size(), 1u);
+}
+
+TEST(Tracer, FoldedListingCollapsesLoops) {
+  VLGuard vl(128);
+  Tracer tracer;
+  {
+    TraceScope scope(tracer);
+    for (int i = 0; i < 4; ++i) (void)svdup_f64(1.0);
+  }
+  const std::string folded = tracer.folded_listing();
+  EXPECT_NE(folded.find("(x4)"), std::string::npos);
+  // Exactly one numbered line.
+  EXPECT_EQ(folded.find("   2  "), std::string::npos);
+}
+
+TEST(Tracer, ElementSuffixReflectsType) {
+  VLGuard vl(512);
+  Tracer tracer;
+  {
+    TraceScope scope(tracer);
+    (void)svdup_f64(1.0);
+    (void)svdup_f32(1.0f);
+    (void)svdup_f16(half(1.0f));
+  }
+  EXPECT_NE(tracer.lines()[0].find(".d"), std::string::npos);
+  EXPECT_NE(tracer.lines()[1].find(".s"), std::string::npos);
+  EXPECT_NE(tracer.lines()[2].find(".h"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace svelat::sve

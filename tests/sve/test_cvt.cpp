@@ -1,0 +1,103 @@
+// Precision-conversion (FCVT) tests.
+#include <gtest/gtest.h>
+
+#include "sve/sve.h"
+#include "sve_test_util.h"
+
+namespace svelat::sve {
+namespace {
+
+using testing::VLTest;
+
+class CvtTest : public VLTest {};
+
+TEST_P(CvtTest, NarrowDoubleToSinglePlacesEvenLanes) {
+  svfloat64_t a{};
+  const unsigned nd = lanes<double>();
+  for (unsigned i = 0; i < nd; ++i) a.lane[i] = 1.5 * i;
+  const svfloat32_t r = svcvt_f32_f64_x(svptrue_b64(), a);
+  for (unsigned i = 0; i < nd; ++i) {
+    EXPECT_EQ(r.lane[2 * i], static_cast<float>(1.5 * i)) << i;
+    EXPECT_EQ(r.lane[2 * i + 1], 0.0f) << i;  // odd sub-lanes zeroed
+  }
+}
+
+TEST_P(CvtTest, WidenSingleToDoubleReadsEvenLanes) {
+  svfloat32_t a{};
+  const unsigned nd = lanes<double>();
+  for (unsigned i = 0; i < nd; ++i) a.lane[2 * i] = 0.25f * i;
+  const svfloat64_t r = svcvt_f64_f32_x(svptrue_b64(), a);
+  for (unsigned i = 0; i < nd; ++i) EXPECT_EQ(r.lane[i], 0.25 * i) << i;
+}
+
+TEST_P(CvtTest, DoubleSingleRoundtripExactForRepresentable) {
+  svfloat64_t a{};
+  const unsigned nd = lanes<double>();
+  for (unsigned i = 0; i < nd; ++i) a.lane[i] = static_cast<double>(i) - 3.5;
+  const svbool_t pg = svptrue_b64();
+  const svfloat64_t back = svcvt_f64_f32_x(pg, svcvt_f32_f64_x(pg, a));
+  for (unsigned i = 0; i < nd; ++i) EXPECT_EQ(back.lane[i], a.lane[i]) << i;
+}
+
+TEST_P(CvtTest, SingleHalfRoundtripExactForRepresentable) {
+  svfloat32_t a{};
+  const unsigned ns = lanes<float>();
+  for (unsigned i = 0; i < ns; ++i) a.lane[i] = 0.5f * i - 2.0f;
+  const svbool_t pg = svptrue_b32();
+  const svfloat32_t back = svcvt_f32_f16_x(pg, svcvt_f16_f32_x(pg, a));
+  for (unsigned i = 0; i < ns; ++i) EXPECT_EQ(back.lane[i], a.lane[i]) << i;
+}
+
+TEST_P(CvtTest, HalfConversionRounds) {
+  svfloat32_t a{};
+  a.lane[0] = 1.0f + 0x1.0p-11f;  // halfway between half(1.0) and next: ties even
+  const svfloat16_t h = svcvt_f16_f32_x(svptrue_b32(), a);
+  EXPECT_EQ(h.lane[0].bits(), 0x3c00u);
+}
+
+TEST_P(CvtTest, DoubleHalfDirect) {
+  svfloat64_t a{};
+  const unsigned nd = lanes<double>();
+  for (unsigned i = 0; i < nd; ++i) a.lane[i] = 2.0 * i + 0.5;
+  const svbool_t pg = svptrue_b64();
+  const svfloat16_t h = svcvt_f16_f64_x(pg, a);
+  for (unsigned i = 0; i < nd; ++i) {
+    EXPECT_EQ(float(h.lane[4 * i]), 2.0f * i + 0.5f) << i;
+  }
+  const svfloat64_t back = svcvt_f64_f16_x(pg, h);
+  for (unsigned i = 0; i < nd; ++i) EXPECT_EQ(back.lane[i], a.lane[i]) << i;
+}
+
+TEST_P(CvtTest, PredicatedConversionSkipsInactive) {
+  svfloat64_t a{};
+  const unsigned nd = lanes<double>();
+  for (unsigned i = 0; i < nd; ++i) a.lane[i] = 7.0;
+  const svfloat32_t r = svcvt_f32_f64_x(svwhilelt_b64(0, 1), a);
+  EXPECT_EQ(r.lane[0], 7.0f);
+  for (unsigned i = 1; i < nd; ++i) EXPECT_EQ(r.lane[2 * i], 0.0f) << i;
+}
+
+TEST_P(CvtTest, CompactionWithUzp1) {
+  // Narrowing two full f64 registers and compacting with UZP1 yields one
+  // full f32 register: the idiom Grid's precision change uses.
+  const unsigned nd = lanes<double>();
+  svfloat64_t a{}, b{};
+  for (unsigned i = 0; i < nd; ++i) {
+    a.lane[i] = 1.0 * i;
+    b.lane[i] = 100.0 + i;
+  }
+  const svbool_t pg = svptrue_b64();
+  const svfloat32_t ca = svcvt_f32_f64_x(pg, a);
+  const svfloat32_t cb = svcvt_f32_f64_x(pg, b);
+  const svfloat32_t packed = svuzp1(ca, cb);
+  for (unsigned i = 0; i < nd; ++i) {
+    EXPECT_EQ(packed.lane[i], static_cast<float>(i)) << i;
+    EXPECT_EQ(packed.lane[nd + i], 100.0f + i) << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllVL, CvtTest,
+                         ::testing::ValuesIn(testing::all_vector_lengths()));
+
+}  // namespace
+}  // namespace svelat::sve

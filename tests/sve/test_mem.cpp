@@ -1,0 +1,160 @@
+// Load / store intrinsic tests.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "support/aligned.h"
+#include "sve/sve.h"
+#include "sve_test_util.h"
+
+namespace svelat::sve {
+namespace {
+
+using testing::VLTest;
+
+class MemTest : public VLTest {};
+
+TEST_P(MemTest, Ld1St1Roundtrip) {
+  const unsigned n = lanes<double>();
+  AlignedVector<double> src(n), dst(n, -1.0);
+  std::iota(src.begin(), src.end(), 1.0);
+  const svbool_t pg = svptrue_b64();
+  const svfloat64_t v = svld1(pg, src.data());
+  svst1(pg, dst.data(), v);
+  EXPECT_EQ(src, dst);
+}
+
+TEST_P(MemTest, PredicatedLoadZeroesInactive) {
+  const unsigned n = lanes<double>();
+  AlignedVector<double> src(n, 5.0);
+  const svbool_t pg = svwhilelt_b64(0, 2);
+  const svfloat64_t v = svld1(pg, src.data());
+  for (unsigned i = 0; i < n; ++i) EXPECT_EQ(v.lane[i], i < 2u ? 5.0 : 0.0) << i;
+}
+
+TEST_P(MemTest, PredicatedStoreLeavesInactiveMemory) {
+  const unsigned n = lanes<double>();
+  AlignedVector<double> dst(n, 7.0);
+  const svfloat64_t v = svdup_f64(1.0);
+  svst1(svwhilelt_b64(0, 1), dst.data(), v);
+  EXPECT_EQ(dst[0], 1.0);
+  for (unsigned i = 1; i < n; ++i) EXPECT_EQ(dst[i], 7.0) << i;
+}
+
+TEST_P(MemTest, Ld2DeinterleavesComplexLayout) {
+  // The armclang strategy for std::complex loops (paper Sec. IV-B): ld2d
+  // splits interleaved (re, im) pairs into two registers.
+  const unsigned n = lanes<double>();
+  AlignedVector<double> src(2 * n);
+  for (unsigned i = 0; i < n; ++i) {
+    src[2 * i] = 100.0 + i;  // re
+    src[2 * i + 1] = 200.0 + i;  // im
+  }
+  const svbool_t pg = svptrue_b64();
+  const svfloat64x2_t t = svld2(pg, src.data());
+  for (unsigned i = 0; i < n; ++i) {
+    EXPECT_EQ(t.reg[0].lane[i], 100.0 + i) << i;
+    EXPECT_EQ(t.reg[1].lane[i], 200.0 + i) << i;
+  }
+}
+
+TEST_P(MemTest, St2ReassemblesStructures) {
+  const unsigned n = lanes<double>();
+  AlignedVector<double> dst(2 * n, 0.0);
+  svfloat64x2_t t;
+  for (unsigned i = 0; i < n; ++i) {
+    t.reg[0].lane[i] = 1.0 + i;
+    t.reg[1].lane[i] = -1.0 - i;
+  }
+  svst2(svptrue_b64(), dst.data(), t);
+  for (unsigned i = 0; i < n; ++i) {
+    EXPECT_EQ(dst[2 * i], 1.0 + i);
+    EXPECT_EQ(dst[2 * i + 1], -1.0 - i);
+  }
+}
+
+TEST_P(MemTest, Ld2St2RoundtripPredicated) {
+  const unsigned n = lanes<double>();
+  if (n < 2) GTEST_SKIP();
+  AlignedVector<double> src(2 * n), dst(2 * n, -9.0);
+  std::iota(src.begin(), src.end(), 0.0);
+  const svbool_t pg = svwhilelt_b64(0, n - 1);  // last structure inactive
+  svst2(pg, dst.data(), svld2(pg, src.data()));
+  for (unsigned i = 0; i < n - 1; ++i) {
+    EXPECT_EQ(dst[2 * i], src[2 * i]);
+    EXPECT_EQ(dst[2 * i + 1], src[2 * i + 1]);
+  }
+  EXPECT_EQ(dst[2 * (n - 1)], -9.0);
+  EXPECT_EQ(dst[2 * (n - 1) + 1], -9.0);
+}
+
+TEST_P(MemTest, Ld3Ld4Deinterleave) {
+  const unsigned n = lanes<float>();
+  AlignedVector<float> src3(3 * n), src4(4 * n);
+  std::iota(src3.begin(), src3.end(), 0.0f);
+  std::iota(src4.begin(), src4.end(), 0.0f);
+  const svbool_t pg = svptrue_b32();
+  const auto t3 = svld3(pg, src3.data());
+  const auto t4 = svld4(pg, src4.data());
+  for (unsigned i = 0; i < n; ++i) {
+    for (unsigned j = 0; j < 3; ++j) EXPECT_EQ(t3.reg[j].lane[i], src3[3 * i + j]);
+    for (unsigned j = 0; j < 4; ++j) EXPECT_EQ(t4.reg[j].lane[i], src4[4 * i + j]);
+  }
+}
+
+TEST_P(MemTest, St3St4Roundtrip) {
+  const unsigned n = lanes<float>();
+  AlignedVector<float> src3(3 * n), dst3(3 * n, 0.0f);
+  AlignedVector<float> src4(4 * n), dst4(4 * n, 0.0f);
+  std::iota(src3.begin(), src3.end(), 1.0f);
+  std::iota(src4.begin(), src4.end(), 1.0f);
+  const svbool_t pg = svptrue_b32();
+  svst3(pg, dst3.data(), svld3(pg, src3.data()));
+  svst4(pg, dst4.data(), svld4(pg, src4.data()));
+  EXPECT_EQ(src3, dst3);
+  EXPECT_EQ(src4, dst4);
+}
+
+TEST_P(MemTest, FloatAndHalfLanes) {
+  const unsigned nf = lanes<float>();
+  AlignedVector<float> fsrc(nf);
+  std::iota(fsrc.begin(), fsrc.end(), 0.5f);
+  const svfloat32_t vf = svld1(svptrue_b32(), fsrc.data());
+  for (unsigned i = 0; i < nf; ++i) EXPECT_EQ(vf.lane[i], fsrc[i]);
+
+  const unsigned nh = lanes<half>();
+  AlignedVector<half> hsrc(nh);
+  for (unsigned i = 0; i < nh; ++i) hsrc[i] = half(static_cast<float>(i));
+  const svfloat16_t vh = svld1(svptrue_b16(), hsrc.data());
+  for (unsigned i = 0; i < nh; ++i) EXPECT_EQ(float(vh.lane[i]), static_cast<float>(i));
+}
+
+TEST_P(MemTest, GatherScatter) {
+  const unsigned n = lanes<double>();
+  AlignedVector<double> table(4 * n);
+  std::iota(table.begin(), table.end(), 0.0);
+  svuint64_t idx;
+  for (unsigned i = 0; i < svuint64_t::kMaxLanes; ++i) idx.lane[i] = (3 * i) % (4 * n);
+  const svfloat64_t v = svld1_gather_index(svptrue_b64(), table.data(), idx);
+  for (unsigned i = 0; i < n; ++i) EXPECT_EQ(v.lane[i], table[(3 * i) % (4 * n)]);
+
+  AlignedVector<double> out(4 * n, 0.0);
+  svst1_scatter_index(svptrue_b64(), out.data(), idx, v);
+  for (unsigned i = 0; i < n; ++i) EXPECT_EQ(out[(3 * i) % (4 * n)], v.lane[i]);
+}
+
+TEST_P(MemTest, NonTemporalSameSemantics) {
+  const unsigned n = lanes<double>();
+  AlignedVector<double> src(n), dst(n, 0.0);
+  std::iota(src.begin(), src.end(), 2.0);
+  const svbool_t pg = svptrue_b64();
+  svstnt1(pg, dst.data(), svldnt1(pg, src.data()));
+  EXPECT_EQ(src, dst);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllVL, MemTest,
+                         ::testing::ValuesIn(testing::all_vector_lengths()));
+
+}  // namespace
+}  // namespace svelat::sve

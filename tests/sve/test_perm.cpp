@@ -1,0 +1,151 @@
+// Permutation intrinsic tests.
+#include <gtest/gtest.h>
+
+#include "sve/sve.h"
+#include "sve_test_util.h"
+
+namespace svelat::sve {
+namespace {
+
+using testing::VLTest;
+
+class PermTest : public VLTest {};
+
+svfloat64_t iota_reg(double base) {
+  svfloat64_t r{};
+  for (unsigned i = 0; i < lanes<double>(); ++i) r.lane[i] = base + i;
+  return r;
+}
+
+TEST_P(PermTest, ExtSlidesWindow) {
+  const unsigned n = lanes<double>();
+  const svfloat64_t a = iota_reg(0.0);
+  const svfloat64_t b = iota_reg(100.0);
+  for (unsigned imm = 0; imm < n; ++imm) {
+    const svfloat64_t r = svext(a, b, imm);
+    for (unsigned i = 0; i < n; ++i) {
+      const double expect = (i + imm < n) ? (i + imm) : (100.0 + (i + imm - n));
+      EXPECT_EQ(r.lane[i], expect) << "imm=" << imm << " i=" << i;
+    }
+  }
+}
+
+TEST_P(PermTest, ExtByHalfSwapsHalves) {
+  // EXT(a, a, n/2) rotates the vector by half: Grid's coarsest permute.
+  const unsigned n = lanes<double>();
+  if (n < 2) GTEST_SKIP();
+  const svfloat64_t a = iota_reg(0.0);
+  const svfloat64_t r = svext(a, a, n / 2);
+  for (unsigned i = 0; i < n; ++i) EXPECT_EQ(r.lane[i], (i + n / 2) % n) << i;
+}
+
+TEST_P(PermTest, RevIsInvolution) {
+  const svfloat64_t a = iota_reg(5.0);
+  const svfloat64_t r = svrev(a);
+  const unsigned n = lanes<double>();
+  for (unsigned i = 0; i < n; ++i) EXPECT_EQ(r.lane[i], a.lane[n - 1 - i]);
+  const svfloat64_t rr = svrev(r);
+  for (unsigned i = 0; i < n; ++i) EXPECT_EQ(rr.lane[i], a.lane[i]);
+}
+
+TEST_P(PermTest, TblArbitraryPermutation) {
+  const unsigned n = lanes<double>();
+  const svfloat64_t a = iota_reg(0.0);
+  svuint64_t idx{};
+  for (unsigned i = 0; i < n; ++i) idx.lane[i] = (i * 3 + 1) % n;
+  const svfloat64_t r = svtbl(a, idx);
+  for (unsigned i = 0; i < n; ++i) EXPECT_EQ(r.lane[i], (i * 3 + 1) % n) << i;
+}
+
+TEST_P(PermTest, TblOutOfRangeGivesZero) {
+  const svfloat64_t a = iota_reg(1.0);
+  svuint64_t idx{};
+  for (unsigned i = 0; i < lanes<double>(); ++i) idx.lane[i] = 1000;
+  const svfloat64_t r = svtbl(a, idx);
+  for (unsigned i = 0; i < lanes<double>(); ++i) EXPECT_EQ(r.lane[i], 0.0);
+}
+
+TEST_P(PermTest, TblPairSwap) {
+  // Swapping adjacent pairs via TBL: the finest-grained Grid permute; for
+  // complex data it exchanges neighbouring complex numbers.
+  const unsigned n = lanes<double>();
+  if (n < 4) GTEST_SKIP();
+  const svfloat64_t a = iota_reg(0.0);
+  svuint64_t idx{};
+  for (unsigned i = 0; i < n; ++i) idx.lane[i] = i ^ 2u;  // swap pairs of pairs
+  const svfloat64_t r = svtbl(a, idx);
+  for (unsigned i = 0; i < n; ++i) {
+    // When the lane count is not a multiple of 4 the top pair's partner is
+    // out of range and TBL yields zero.
+    const double expect = (i ^ 2u) < n ? static_cast<double>(i ^ 2u) : 0.0;
+    EXPECT_EQ(r.lane[i], expect) << i;
+  }
+}
+
+TEST_P(PermTest, ZipUnzipRoundtrip) {
+  const unsigned n = lanes<double>();
+  if (n < 2) GTEST_SKIP();
+  const svfloat64_t a = iota_reg(0.0);
+  const svfloat64_t b = iota_reg(100.0);
+  const svfloat64_t lo = svzip1(a, b);
+  const svfloat64_t hi = svzip2(a, b);
+  // UZP of the zipped registers must recover the originals.
+  const svfloat64_t ua = svuzp1(lo, hi);
+  const svfloat64_t ub = svuzp2(lo, hi);
+  for (unsigned i = 0; i < n; ++i) {
+    EXPECT_EQ(ua.lane[i], a.lane[i]) << i;
+    EXPECT_EQ(ub.lane[i], b.lane[i]) << i;
+  }
+}
+
+TEST_P(PermTest, ZipInterleavesHalves) {
+  const unsigned n = lanes<double>();
+  if (n < 2) GTEST_SKIP();
+  const svfloat64_t a = iota_reg(0.0);
+  const svfloat64_t b = iota_reg(100.0);
+  const svfloat64_t lo = svzip1(a, b);
+  for (unsigned i = 0; i < n / 2; ++i) {
+    EXPECT_EQ(lo.lane[2 * i], a.lane[i]);
+    EXPECT_EQ(lo.lane[2 * i + 1], b.lane[i]);
+  }
+}
+
+TEST_P(PermTest, TrnPicksAlternating) {
+  const unsigned n = lanes<double>();
+  if (n < 2) GTEST_SKIP();
+  const svfloat64_t a = iota_reg(0.0);
+  const svfloat64_t b = iota_reg(100.0);
+  const svfloat64_t t1 = svtrn1(a, b);
+  const svfloat64_t t2 = svtrn2(a, b);
+  for (unsigned i = 0; i < n / 2; ++i) {
+    EXPECT_EQ(t1.lane[2 * i], a.lane[2 * i]);
+    EXPECT_EQ(t1.lane[2 * i + 1], b.lane[2 * i]);
+    EXPECT_EQ(t2.lane[2 * i], a.lane[2 * i + 1]);
+    EXPECT_EQ(t2.lane[2 * i + 1], b.lane[2 * i + 1]);
+  }
+}
+
+TEST_P(PermTest, DupLaneBroadcasts) {
+  const svfloat64_t a = iota_reg(3.0);
+  const unsigned n = lanes<double>();
+  const svfloat64_t r = svdup_lane(a, n - 1);
+  for (unsigned i = 0; i < n; ++i) EXPECT_EQ(r.lane[i], 3.0 + (n - 1)) << i;
+}
+
+TEST_P(PermTest, FloatTbl) {
+  svfloat32_t a{};
+  svuint32_t idx{};
+  const unsigned n = lanes<float>();
+  for (unsigned i = 0; i < n; ++i) {
+    a.lane[i] = 2.0f * i;
+    idx.lane[i] = n - 1 - i;
+  }
+  const svfloat32_t r = svtbl(a, idx);
+  for (unsigned i = 0; i < n; ++i) EXPECT_EQ(r.lane[i], 2.0f * (n - 1 - i)) << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllVL, PermTest,
+                         ::testing::ValuesIn(testing::all_vector_lengths()));
+
+}  // namespace
+}  // namespace svelat::sve

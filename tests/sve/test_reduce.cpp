@@ -1,0 +1,68 @@
+// Horizontal reduction tests.
+#include <gtest/gtest.h>
+
+#include "sve/sve.h"
+#include "sve_test_util.h"
+
+namespace svelat::sve {
+namespace {
+
+using testing::VLTest;
+
+class ReduceTest : public VLTest {};
+
+TEST_P(ReduceTest, AddvSumsActiveLanes) {
+  svfloat64_t a{};
+  const unsigned n = lanes<double>();
+  double expect = 0.0;
+  for (unsigned i = 0; i < n; ++i) {
+    a.lane[i] = 1.0 + i;
+    expect += 1.0 + i;
+  }
+  EXPECT_DOUBLE_EQ(svaddv(svptrue_b64(), a), expect);
+}
+
+TEST_P(ReduceTest, AddvRespectsPredicate) {
+  svfloat64_t a = svdup_f64(2.0);
+  const unsigned active = std::min(3u, lanes<double>());
+  EXPECT_DOUBLE_EQ(svaddv(svwhilelt_b64(0, 3), a), 2.0 * active);
+  EXPECT_DOUBLE_EQ(svaddv(svpfalse_b(), a), 0.0);
+}
+
+TEST_P(ReduceTest, MaxvMinv) {
+  svfloat64_t a{};
+  const unsigned n = lanes<double>();
+  for (unsigned i = 0; i < n; ++i) a.lane[i] = (i % 2 == 0) ? -1.0 * i : 0.5 * i;
+  double mx = a.lane[0], mn = a.lane[0];
+  for (unsigned i = 1; i < n; ++i) {
+    mx = std::max(mx, a.lane[i]);
+    mn = std::min(mn, a.lane[i]);
+  }
+  EXPECT_DOUBLE_EQ(svmaxv(svptrue_b64(), a), mx);
+  EXPECT_DOUBLE_EQ(svminv(svptrue_b64(), a), mn);
+}
+
+TEST_P(ReduceTest, MaxvPredicatedIgnoresInactive) {
+  svfloat64_t a{};
+  const unsigned n = lanes<double>();
+  for (unsigned i = 0; i < n; ++i) a.lane[i] = static_cast<double>(i);
+  // Only lane 0 active: max is lane 0 even though later lanes are larger.
+  EXPECT_DOUBLE_EQ(svmaxv(svwhilelt_b64(0, 1), a), 0.0);
+}
+
+TEST_P(ReduceTest, FloatAddv) {
+  svfloat32_t a{};
+  const unsigned n = lanes<float>();
+  float expect = 0.0f;
+  for (unsigned i = 0; i < n; ++i) {
+    a.lane[i] = 0.25f;
+    expect += 0.25f;
+  }
+  EXPECT_FLOAT_EQ(svaddv(svptrue_b32(), a), expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllVL, ReduceTest,
+                         ::testing::ValuesIn(testing::all_vector_lengths()));
+
+}  // namespace
+}  // namespace svelat::sve

@@ -1,0 +1,131 @@
+// Tensor layer on SIMD innermost scalars: every lane must behave like an
+// independent scalar tensor (the virtual-node property of paper Fig. 1).
+#include <gtest/gtest.h>
+
+#include <complex>
+
+#include "simd/simd.h"
+#include "sve/sve.h"
+#include "tensor/tensor.h"
+
+namespace svelat::tensor {
+namespace {
+
+using C = std::complex<double>;
+
+template <typename P>
+struct Fixture {
+  using S = simd::SimdComplex<double, simd::kVLB512, P>;
+  using Mat = iMatrix<S, 3>;
+  using Vec = iVector<S, 3>;
+
+  static C tv(int tag, int i, int j, unsigned lane) {
+    return {0.5 * ((tag * 7 + i * 3 + j + static_cast<int>(lane) * 17) % 11) - 2.0,
+            0.25 * ((tag * 13 + i * 5 + j * 2 + static_cast<int>(lane) * 23) % 9) - 1.0};
+  }
+
+  static Mat make_mat(int tag) {
+    Mat m = Zero<Mat>();
+    for (int i = 0; i < 3; ++i)
+      for (int j = 0; j < 3; ++j)
+        for (unsigned l = 0; l < S::Nsimd(); ++l) m(i, j).set_lane(l, tv(tag, i, j, l));
+    return m;
+  }
+
+  static Vec make_vec(int tag) {
+    Vec v = Zero<Vec>();
+    for (int i = 0; i < 3; ++i)
+      for (unsigned l = 0; l < S::Nsimd(); ++l) v(i).set_lane(l, tv(tag, i, 0, l));
+    return v;
+  }
+};
+
+template <typename P>
+class TensorSimdTest : public ::testing::Test {
+ protected:
+  void SetUp() override { sve::set_vector_length(512); }
+};
+
+using Policies = ::testing::Types<simd::Generic, simd::SveFcmla, simd::SveReal>;
+TYPED_TEST_SUITE(TensorSimdTest, Policies);
+
+TYPED_TEST(TensorSimdTest, MatrixVectorPerLane) {
+  using F = Fixture<TypeParam>;
+  const auto m = F::make_mat(1);
+  const auto v = F::make_vec(2);
+  const auto r = m * v;
+  for (unsigned l = 0; l < F::S::Nsimd(); ++l) {
+    for (int i = 0; i < 3; ++i) {
+      C expect{};
+      for (int j = 0; j < 3; ++j) expect += m(i, j).lane(l) * v(j).lane(l);
+      EXPECT_NEAR(std::abs(r(i).lane(l) - expect), 0.0, 1e-12) << l << ":" << i;
+    }
+  }
+}
+
+TYPED_TEST(TensorSimdTest, AdjMulPerLane) {
+  using F = Fixture<TypeParam>;
+  const auto m = F::make_mat(3);
+  const auto v = F::make_vec(4);
+  const auto r = adj_mul(m, v);
+  for (unsigned l = 0; l < F::S::Nsimd(); ++l) {
+    for (int i = 0; i < 3; ++i) {
+      C expect{};
+      for (int j = 0; j < 3; ++j) expect += std::conj(m(j, i).lane(l)) * v(j).lane(l);
+      EXPECT_NEAR(std::abs(r(i).lane(l) - expect), 0.0, 1e-12) << l << ":" << i;
+    }
+  }
+}
+
+TYPED_TEST(TensorSimdTest, MatrixMatrixPerLane) {
+  using F = Fixture<TypeParam>;
+  const auto a = F::make_mat(5);
+  const auto b = F::make_mat(6);
+  const auto r = a * b;
+  for (unsigned l = 0; l < F::S::Nsimd(); ++l) {
+    for (int i = 0; i < 3; ++i)
+      for (int j = 0; j < 3; ++j) {
+        C expect{};
+        for (int k = 0; k < 3; ++k) expect += a(i, k).lane(l) * b(k, j).lane(l);
+        EXPECT_NEAR(std::abs(r(i, j).lane(l) - expect), 0.0, 1e-12);
+      }
+  }
+}
+
+TYPED_TEST(TensorSimdTest, TraceAndInnerProductReduceOverLanes) {
+  using F = Fixture<TypeParam>;
+  using S = typename F::S;
+  const auto a = F::make_mat(7);
+  const S tr = trace(a);
+  for (unsigned l = 0; l < S::Nsimd(); ++l) {
+    C expect{};
+    for (int i = 0; i < 3; ++i) expect += a(i, i).lane(l);
+    EXPECT_NEAR(std::abs(tr.lane(l) - expect), 0.0, 1e-12) << l;
+  }
+  // innerProduct then reduce over lanes == scalar double sum.
+  const auto v = F::make_vec(8);
+  const S ip = innerProduct(v, v);
+  const C total = reduce(ip);
+  double expect = 0;
+  for (unsigned l = 0; l < S::Nsimd(); ++l)
+    for (int i = 0; i < 3; ++i) expect += std::norm(v(i).lane(l));
+  EXPECT_NEAR(total.real(), expect, 1e-11);
+  EXPECT_NEAR(total.imag(), 0.0, 1e-11);
+}
+
+TYPED_TEST(TensorSimdTest, GaugeLikeIdentity) {
+  // (a * adj(a)) applied lane-wise stays hermitian per lane.
+  using F = Fixture<TypeParam>;
+  const auto a = F::make_mat(9);
+  const auto h = a * adj(a);
+  for (unsigned l = 0; l < F::S::Nsimd(); ++l)
+    for (int i = 0; i < 3; ++i)
+      for (int j = 0; j < 3; ++j) {
+        const C hij = h(i, j).lane(l);
+        const C hji = h(j, i).lane(l);
+        EXPECT_NEAR(std::abs(hij - std::conj(hji)), 0.0, 1e-11);
+      }
+}
+
+}  // namespace
+}  // namespace svelat::tensor
