@@ -54,6 +54,7 @@ void bench_eager_chain(benchmark::State& state) {
   const double sites = static_cast<double>(s.grid.gsites()) * static_cast<double>(iters);
   state.counters["insns/site"] =
       benchmark::Counter(static_cast<double>(scope.delta().total()) / sites);
+  state.counters["checksum"] = benchmark::Counter(norm2(s.r));
   state.SetItemsProcessed(static_cast<std::int64_t>(sites));
 }
 
@@ -71,6 +72,7 @@ void bench_fused_expr(benchmark::State& state) {
   const double sites = static_cast<double>(s.grid.gsites()) * static_cast<double>(iters);
   state.counters["insns/site"] =
       benchmark::Counter(static_cast<double>(scope.delta().total()) / sites);
+  state.counters["checksum"] = benchmark::Counter(norm2(s.r));
   state.SetItemsProcessed(static_cast<std::int64_t>(sites));
 }
 
@@ -78,13 +80,15 @@ void bench_eager_inner_product(benchmark::State& state) {
   sve::set_vector_length(512);
   auto& s = setup();
   std::size_t iters = 0;
+  std::complex<double> ip{};
   for (auto _ : state) {
     Field t = kAlpha * s.b;
     Field u = t + s.c;
-    auto ip = innerProduct(s.a, u);
+    ip = innerProduct(s.a, u);
     benchmark::DoNotOptimize(ip);
     ++iters;
   }
+  state.counters["checksum"] = benchmark::Counter(std::abs(ip));
   state.SetItemsProcessed(
       static_cast<std::int64_t>(s.grid.gsites() * static_cast<std::int64_t>(iters)));
 }
@@ -93,12 +97,14 @@ void bench_fused_inner_product(benchmark::State& state) {
   sve::set_vector_length(512);
   auto& s = setup();
   std::size_t iters = 0;
+  std::complex<double> ip{};
   for (auto _ : state) {
     using namespace lattice::expr;
-    auto ip = inner_product(s.a, kAlpha * ref(s.b) + ref(s.c));
+    ip = inner_product(s.a, kAlpha * ref(s.b) + ref(s.c));
     benchmark::DoNotOptimize(ip);
     ++iters;
   }
+  state.counters["checksum"] = benchmark::Counter(std::abs(ip));
   state.SetItemsProcessed(
       static_cast<std::int64_t>(s.grid.gsites() * static_cast<std::int64_t>(iters)));
 }

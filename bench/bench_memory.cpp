@@ -44,6 +44,7 @@ void bench_copy(benchmark::State& state) {
     ++iters;
   }
   state.SetBytesProcessed(static_cast<std::int64_t>(2 * bytes * iters));  // rd + wr
+  state.counters["checksum"] = benchmark::Counter(norm2(s.dst));
 }
 
 void bench_stream_copy(benchmark::State& state) {
@@ -62,6 +63,7 @@ void bench_stream_copy(benchmark::State& state) {
   // All memory traffic must be on the non-temporal opcodes.
   state.counters["ld+st"] = benchmark::Counter(
       static_cast<double>(scope.delta().memory_insns()) / static_cast<double>(iters));
+  state.counters["checksum"] = benchmark::Counter(norm2(s.dst));
 }
 
 void bench_prefetch_copy(benchmark::State& state) {
@@ -76,6 +78,7 @@ void bench_prefetch_copy(benchmark::State& state) {
     ++iters;
   }
   state.SetBytesProcessed(static_cast<std::int64_t>(2 * bytes * iters));
+  state.counters["checksum"] = benchmark::Counter(norm2(s.dst));
 }
 
 void bench_splat(benchmark::State& state) {
@@ -90,6 +93,7 @@ void bench_splat(benchmark::State& state) {
     ++iters;
   }
   state.SetBytesProcessed(static_cast<std::int64_t>(bytes * iters));  // write only
+  state.counters["checksum"] = benchmark::Counter(norm2(s.dst));
 }
 
 void bench_memcpy_baseline(benchmark::State& state) {

@@ -58,7 +58,7 @@ Lattice<vobj> Cshift(const Lattice<vobj>& f, int mu, int disp) {
   const Stencil st(f.grid());
   Lattice<vobj> r(f.grid());
   const int dir = disp == 1 ? mu : Nd + mu;
-  for (std::int64_t o = 0; o < f.osites(); ++o) r[o] = fetch_neighbour(f, st, o, dir);
+  thread_for(f.osites(), [&](std::int64_t o) { r[o] = fetch_neighbour(f, st, o, dir); });
   return r;
 }
 

@@ -182,23 +182,26 @@ AdjExpr<E> adj(E e) {
 }
 
 // --- evaluation -----------------------------------------------------------------
-/// Fused single-pass evaluation of the expression into dst.
+/// Fused single-pass evaluation of the expression into dst, threaded over
+/// outer sites (the expression tree is read-only and shared by all threads).
 template <class vobj, class E>
   requires is_expr_v<E>
 void eval_into(Lattice<vobj>& dst, const E& e) {
   SVELAT_ASSERT_MSG(*dst.grid() == *e.grid(), "expression on a different grid");
-  for (std::int64_t o = 0; o < dst.osites(); ++o) dst[o] = e.eval(o);
+  thread_for(dst.osites(), [&](std::int64_t o) { dst[o] = e.eval(o); });
 }
 
 /// Fused reduction: global sum of innerProduct(a_x, expr_x) without
-/// materializing the expression.
+/// materializing the expression.  Uses the same deterministic chunked
+/// reduction as lattice::innerProduct, so fused and materialized paths
+/// agree bitwise at any thread count.
 template <class vobj, class E>
   requires is_expr_v<E>
 auto inner_product(const Lattice<vobj>& a, const E& e) {
   using simd_type = typename Lattice<vobj>::simd_type;
-  simd_type acc = simd_type::zero();
-  for (std::int64_t o = 0; o < a.osites(); ++o)
-    acc += tensor::innerProduct(a[o], e.eval(o));
+  const simd_type acc = parallel_reduce(
+      a.osites(), simd_type::zero(),
+      [&](std::int64_t o) { return tensor::innerProduct(a[o], e.eval(o)); });
   return reduce(acc);
 }
 

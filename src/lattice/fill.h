@@ -10,6 +10,7 @@
 #include <complex>
 
 #include "lattice/lattice.h"
+#include "support/parallel.h"
 #include "support/random.h"
 
 namespace svelat::lattice {
@@ -32,7 +33,9 @@ void gaussian_fill(const SiteRNG& rng, Lattice<vobj>& f) {
   using C = typename view::C;
   using R = typename C::value_type;
   const GridCartesian* g = f.grid();
-  for (std::int64_t o = 0; o < g->osites(); ++o) {
+  // Counter-based draws are a pure function of (seed, site, slot), so the
+  // outer-site loop threads without changing a single bit of the fill.
+  thread_for(g->osites(), [&](std::int64_t o) {
     for (unsigned l = 0; l < g->isites(); ++l) {
       const Coordinate x = g->global_coor(o, l);
       const auto key = static_cast<std::uint64_t>(g->global_index(x));
@@ -44,7 +47,7 @@ void gaussian_fill(const SiteRNG& rng, Lattice<vobj>& f) {
       }
       f.poke(x, s);
     }
-  }
+  });
 }
 
 /// Fill with uniform draws in [lo, hi) (component-wise, re and im).
@@ -55,7 +58,7 @@ void uniform_fill(const SiteRNG& rng, Lattice<vobj>& f, double lo, double hi) {
   using C = typename view::C;
   using R = typename C::value_type;
   const GridCartesian* g = f.grid();
-  for (std::int64_t o = 0; o < g->osites(); ++o) {
+  thread_for(g->osites(), [&](std::int64_t o) {
     for (unsigned l = 0; l < g->isites(); ++l) {
       const Coordinate x = g->global_coor(o, l);
       const auto key = static_cast<std::uint64_t>(g->global_index(x));
@@ -67,7 +70,7 @@ void uniform_fill(const SiteRNG& rng, Lattice<vobj>& f, double lo, double hi) {
       }
       f.poke(x, s);
     }
-  }
+  });
 }
 
 }  // namespace svelat::lattice

@@ -10,6 +10,7 @@
 
 #include "lattice/cartesian.h"
 #include "support/aligned.h"
+#include "support/parallel.h"
 #include "tensor/lane_ops.h"
 #include "tensor/tensor.h"
 
@@ -51,35 +52,39 @@ class Lattice {
   }
 
   void set_zero() {
-    for (auto& site : data_) tensor::zeroit(site);
+    thread_for(osites(), [&](std::int64_t o) {
+      tensor::zeroit(data_[static_cast<std::size_t>(o)]);
+    });
   }
 
   // --- site-wise arithmetic ---------------------------------------------------
   friend Lattice operator+(const Lattice& a, const Lattice& b) {
     a.check_same(b);
     Lattice r(a.grid_);
-    for (std::int64_t o = 0; o < a.osites(); ++o) r[o] = a[o] + b[o];
+    thread_for(a.osites(), [&](std::int64_t o) { r[o] = a[o] + b[o]; });
     return r;
   }
   friend Lattice operator-(const Lattice& a, const Lattice& b) {
     a.check_same(b);
     Lattice r(a.grid_);
-    for (std::int64_t o = 0; o < a.osites(); ++o) r[o] = a[o] - b[o];
+    thread_for(a.osites(), [&](std::int64_t o) { r[o] = a[o] - b[o]; });
     return r;
   }
   friend Lattice operator-(const Lattice& a) {
     Lattice r(a.grid_);
-    for (std::int64_t o = 0; o < a.osites(); ++o) r[o] = -a[o];
+    thread_for(a.osites(), [&](std::int64_t o) { r[o] = -a[o]; });
     return r;
   }
   Lattice& operator+=(const Lattice& o) {
     check_same(o);
-    for (std::int64_t i = 0; i < osites(); ++i) data_[static_cast<std::size_t>(i)] += o[i];
+    thread_for(osites(),
+               [&](std::int64_t i) { data_[static_cast<std::size_t>(i)] += o[i]; });
     return *this;
   }
   Lattice& operator-=(const Lattice& o) {
     check_same(o);
-    for (std::int64_t i = 0; i < osites(); ++i) data_[static_cast<std::size_t>(i)] -= o[i];
+    thread_for(osites(),
+               [&](std::int64_t i) { data_[static_cast<std::size_t>(i)] -= o[i]; });
     return *this;
   }
 
@@ -88,7 +93,7 @@ class Lattice {
   friend Lattice operator*(const S& s, const Lattice& a) {
     Lattice r(a.grid_);
     const simd_type coeff(s);  // splat once
-    for (std::int64_t o = 0; o < a.osites(); ++o) r[o] = coeff * a[o];
+    thread_for(a.osites(), [&](std::int64_t o) { r[o] = coeff * a[o]; });
     return r;
   }
 
@@ -107,17 +112,18 @@ void axpy(Lattice<vobj>& r, const S& a, const Lattice<vobj>& x, const Lattice<vo
   x.check_same(y);
   using simd_type = typename Lattice<vobj>::simd_type;
   const simd_type coeff{typename simd_type::scalar_type(a)};
-  for (std::int64_t o = 0; o < x.osites(); ++o) r[o] = coeff * x[o] + y[o];
+  thread_for(x.osites(), [&](std::int64_t o) { r[o] = coeff * x[o] + y[o]; });
 }
 
 /// Global inner product: sum_x conj(a_x) . b_x, reduced over lanes.
+/// Chunked deterministic reduction: bitwise independent of thread count.
 template <class vobj>
 auto innerProduct(const Lattice<vobj>& a, const Lattice<vobj>& b) {
   a.check_same(b);
   using simd_type = typename Lattice<vobj>::simd_type;
-  simd_type acc = simd_type::zero();
-  for (std::int64_t o = 0; o < a.osites(); ++o)
-    acc += tensor::innerProduct(a[o], b[o]);
+  const simd_type acc = parallel_reduce(
+      a.osites(), simd_type::zero(),
+      [&](std::int64_t o) { return tensor::innerProduct(a[o], b[o]); });
   return reduce(acc);
 }
 
@@ -125,6 +131,25 @@ auto innerProduct(const Lattice<vobj>& a, const Lattice<vobj>& b) {
 template <class vobj>
 double norm2(const Lattice<vobj>& a) {
   return std::real(innerProduct(a, a));
+}
+
+/// Fused r = a*x + y followed by |r|^2 in a single pass over the field --
+/// the per-iteration tail of CG/BiCGSTAB (update the residual, then take
+/// its norm) without re-reading r.  Same deterministic reduction tree as
+/// innerProduct, so the result matches axpy + norm2 run separately.
+template <class vobj, typename S>
+double axpy_norm2(Lattice<vobj>& r, const S& a, const Lattice<vobj>& x,
+                  const Lattice<vobj>& y) {
+  x.check_same(y);
+  using simd_type = typename Lattice<vobj>::simd_type;
+  const simd_type coeff{typename simd_type::scalar_type(a)};
+  const simd_type acc =
+      parallel_reduce(x.osites(), simd_type::zero(), [&](std::int64_t o) {
+        const vobj v = coeff * x[o] + y[o];
+        r[o] = v;
+        return tensor::innerProduct(v, v);
+      });
+  return std::real(reduce(acc));
 }
 
 }  // namespace svelat::lattice

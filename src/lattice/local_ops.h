@@ -12,21 +12,22 @@ namespace svelat::lattice {
 template <class vobj>
 void local_mult(Lattice<vobj>& r, const Lattice<vobj>& a, const Lattice<vobj>& b) {
   a.check_same(b);
-  for (std::int64_t o = 0; o < a.osites(); ++o) r[o] = a[o] * b[o];
+  thread_for(a.osites(), [&](std::int64_t o) { r[o] = a[o] * b[o]; });
 }
 
 /// r(x) = adj(a(x)).
 template <class vobj>
 void local_adj(Lattice<vobj>& r, const Lattice<vobj>& a) {
-  for (std::int64_t o = 0; o < a.osites(); ++o) r[o] = tensor::adj(a[o]);
+  thread_for(a.osites(), [&](std::int64_t o) { r[o] = tensor::adj(a[o]); });
 }
 
-/// Global sum of the per-site trace of a matrix field.
+/// Global sum of the per-site trace of a matrix field (deterministic
+/// chunked reduction, see support/parallel.h).
 template <class vobj>
 auto local_trace_sum(const Lattice<vobj>& a) {
   using simd_type = typename Lattice<vobj>::simd_type;
-  simd_type acc = simd_type::zero();
-  for (std::int64_t o = 0; o < a.osites(); ++o) acc += tensor::trace(a[o]);
+  const simd_type acc = parallel_reduce(
+      a.osites(), simd_type::zero(), [&](std::int64_t o) { return tensor::trace(a[o]); });
   return reduce(acc);
 }
 

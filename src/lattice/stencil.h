@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "lattice/cartesian.h"
+#include "support/parallel.h"
 
 namespace svelat::lattice {
 
@@ -27,14 +28,14 @@ class Stencil {
 
   explicit Stencil(const GridCartesian* grid) : grid_(grid) {
     table_.resize(static_cast<std::size_t>(grid->osites()) * num_dirs);
-    for (std::int64_t o = 0; o < grid->osites(); ++o) {
+    thread_for(grid->osites(), [&](std::int64_t o) {
       for (int mu = 0; mu < Nd; ++mu) {
         const auto fwd = grid->neighbour(o, mu, +1);
         const auto bwd = grid->neighbour(o, mu, -1);
         table_[index(o, mu)] = {fwd.osite, fwd.permute};
         table_[index(o, Nd + mu)] = {bwd.osite, bwd.permute};
       }
-    }
+    });
   }
 
   /// Table entry for a hop from `osite` in direction `dir` (see num_dirs).

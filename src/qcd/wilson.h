@@ -41,10 +41,12 @@ class WilsonDirac {
   const lattice::GridCartesian* grid() const { return grid_; }
   double mass() const { return mass_; }
 
-  /// Hopping term, Eq. (1): out = Dh in.
+  /// Hopping term, Eq. (1): out = Dh in.  Threaded over outer sites: each
+  /// site reads neighbours from `in` (never written here) and writes only
+  /// its own out[o].
   void dhop(const Fermion& in, Fermion& out) const {
     using namespace lattice;
-    for (std::int64_t o = 0; o < grid_->osites(); ++o) {
+    thread_for(grid_->osites(), [&](std::int64_t o) {
       SpinColourVector<S> acc = tensor::Zero<SpinColourVector<S>>();
       for (int mu = 0; mu < Nd; ++mu) {
         {  // forward hop: U_{x,mu} (1 + gamma_mu) psi_{x+mu}
@@ -65,7 +67,7 @@ class WilsonDirac {
         }
       }
       out[o] = acc;
-    }
+    });
   }
 
   /// Full Wilson operator: out = (4 + m) in - (1/2) Dh in.
@@ -74,8 +76,8 @@ class WilsonDirac {
     dhop(in, out);
     const S diag(static_cast<typename S::real_type>(4.0 + mass_), 0);
     const S mhalf(static_cast<typename S::real_type>(-0.5), 0);
-    for (std::int64_t o = 0; o < grid_->osites(); ++o)
-      out[o] = diag * in[o] + mhalf * out[o];
+    thread_for(grid_->osites(),
+               [&](std::int64_t o) { out[o] = diag * in[o] + mhalf * out[o]; });
   }
 
   /// M^dag via gamma_5 hermiticity: M^dag = gamma5 M gamma5.
@@ -94,7 +96,7 @@ class WilsonDirac {
   }
 
   static void apply_gamma5(const Fermion& in, Fermion& out) {
-    for (std::int64_t o = 0; o < in.osites(); ++o) out[o] = gamma5(in[o]);
+    thread_for(in.osites(), [&](std::int64_t o) { out[o] = gamma5(in[o]); });
   }
 
  private:
@@ -119,12 +121,12 @@ void dhop_via_cshift(const GaugeField<S>& gauge, const LatticeFermion<S>& in,
                      LatticeFermion<S>& out) {
   using namespace lattice;
   const GridCartesian* g = gauge.grid();
-  for (std::int64_t o = 0; o < g->osites(); ++o) tensor::zeroit(out[o]);
+  thread_for(g->osites(), [&](std::int64_t o) { tensor::zeroit(out[o]); });
   for (int mu = 0; mu < Nd; ++mu) {
     const LatticeFermion<S> psi_fwd = Cshift(in, mu, +1);
     const LatticeFermion<S> psi_bwd = Cshift(in, mu, -1);
     const LatticeColourMatrix<S> u_bwd = Cshift(gauge.U[mu], mu, -1);
-    for (std::int64_t o = 0; o < g->osites(); ++o) {
+    thread_for(g->osites(), [&](std::int64_t o) {
       {
         HalfSpinColourVector<S> h = spin_project(mu, +1, psi_fwd[o]);
         HalfSpinColourVector<S> uh;
@@ -137,7 +139,7 @@ void dhop_via_cshift(const GaugeField<S>& gauge, const LatticeFermion<S>& in,
         for (int s = 0; s < Nhs; ++s) uh(s) = tensor::adj_mul(u_bwd[o], h(s));
         spin_reconstruct_accum(mu, -1, uh, out[o]);
       }
-    }
+    });
   }
 }
 

@@ -39,8 +39,7 @@ SolverStats bicgstab(const LinearOp& op, const Field& b, Field& x, double tolera
     SVELAT_ASSERT_MSG(std::abs(r0v) > 0.0, "BiCGSTAB breakdown: <r0, v> = 0");
     const C alpha = rho / r0v;
 
-    axpy(s, -alpha, v, r);  // s = r - alpha v
-    const double s2 = norm2(s);
+    const double s2 = axpy_norm2(s, -alpha, v, r);  // s = r - alpha v, |s|^2
     if (s2 <= stop) {  // early half-step convergence
       axpy(x, alpha, p, x);
       rr = s2;
@@ -56,9 +55,8 @@ SolverStats bicgstab(const LinearOp& op, const Field& b, Field& x, double tolera
     // x += alpha p + omega s
     axpy(x, alpha, p, x);
     axpy(x, omega, s, x);
-    // r = s - omega t
-    axpy(r, -omega, t, s);
-    rr = norm2(r);
+    // r = s - omega t, fused with the norm
+    rr = axpy_norm2(r, -omega, t, s);
     stats.iterations = k + 1;
 
     const C rho_next = innerProduct(r0, r);

@@ -52,9 +52,10 @@ SolverStats conjugate_gradient(const LinearOp& op, const Field& b, Field& x,
     SVELAT_ASSERT_MSG(pap > 0.0, "operator is not positive definite");
     const double alpha = rr / pap;
 
-    axpy(x, alpha, p, x);    // x += alpha p
-    axpy(r, -alpha, ap, r);  // r -= alpha A p
-    const double rr_next = norm2(r);
+    axpy(x, alpha, p, x);  // x += alpha p
+    // r -= alpha A p, fused with the norm (one field pass; the chunked
+    // reduction keeps the residual history bitwise thread-count-invariant).
+    const double rr_next = axpy_norm2(r, -alpha, ap, r);
     const double beta = rr_next / rr;
     axpy(p, beta, p, r);     // p = r + beta p
     rr = rr_next;

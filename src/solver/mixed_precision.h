@@ -31,7 +31,10 @@ void convert_field(lattice::Lattice<VDst>& dst, const lattice::Lattice<VSrc>& sr
   const lattice::GridCartesian* sg = src.grid();
   SVELAT_ASSERT_MSG(sg->fdimensions() == dst.grid()->fdimensions(),
                     "precision conversion requires identical lattice extents");
-  for (std::int64_t o = 0; o < sg->osites(); ++o) {
+  // Threaded over *source* outer sites: every global coordinate maps to a
+  // unique (site, lane) slot in dst, and lane pokes touch disjoint bytes,
+  // so cross-layout conversion is race-free.
+  thread_for(sg->osites(), [&](std::int64_t o) {
     for (unsigned l = 0; l < sg->isites(); ++l) {
       const lattice::Coordinate x = sg->global_coor(o, l);
       const src_sobj s = src.peek(x);
@@ -42,7 +45,7 @@ void convert_field(lattice::Lattice<VDst>& dst, const lattice::Lattice<VSrc>& sr
         out[k] = DstC(static_cast<DstR>(in[k].real()), static_cast<DstR>(in[k].imag()));
       dst.poke(x, d);
     }
-  }
+  });
 }
 
 struct MixedStats {

@@ -30,10 +30,12 @@ namespace svelat {
     if (!(expr)) ::svelat::assert_fail(#expr, __FILE__, __LINE__, msg); \
   } while (0)
 
+// Variadic so that unparenthesized template arguments (commas) survive the
+// preprocessor, e.g. SVELAT_DEBUG_ASSERT(d < vec<T, VLB>::size).
 #if defined(SVELAT_DEBUG_CHECKS)
-#define SVELAT_DEBUG_ASSERT(expr) SVELAT_ASSERT(expr)
+#define SVELAT_DEBUG_ASSERT(...) SVELAT_ASSERT((__VA_ARGS__))
 #else
-#define SVELAT_DEBUG_ASSERT(expr) \
-  do {                            \
+#define SVELAT_DEBUG_ASSERT(...) \
+  do {                           \
   } while (0)
 #endif

@@ -4,10 +4,6 @@
 
 namespace svelat::sve {
 
-namespace detail {
-thread_local InsnCounters t_counters{};
-}  // namespace detail
-
 const char* insn_class_name(InsnClass c) {
   switch (c) {
     case InsnClass::kLoad: return "ld1";
@@ -32,7 +28,7 @@ const char* insn_class_name(InsnClass c) {
   return "?";
 }
 
-void reset_counters() { detail::t_counters = InsnCounters{}; }
+void reset_counters() { detail::t_counters() = InsnCounters{}; }
 
 std::string InsnCounters::report() const {
   std::string out;

@@ -69,6 +69,10 @@ struct InsnCounters {
            (*this)[C::kStructStore];
   }
 
+  InsnCounters& operator+=(const InsnCounters& o) {
+    for (unsigned i = 0; i < kNumInsnClasses; ++i) count[i] += o.count[i];
+    return *this;
+  }
   InsnCounters& operator-=(const InsnCounters& o) {
     for (unsigned i = 0; i < kNumInsnClasses; ++i) count[i] -= o.count[i];
     return *this;
@@ -83,29 +87,40 @@ struct InsnCounters {
 };
 
 namespace detail {
-extern thread_local InsnCounters t_counters;
+// Function-local thread_local (rather than an extern TLS object): the
+// type is trivial, so access compiles to plain TLS loads with no guard,
+// and UBSan-instrumented builds don't trip over the cross-TU TLS wrapper.
+inline InsnCounters& t_counters() {
+  thread_local InsnCounters t{};
+  return t;
+}
 }  // namespace detail
 
 /// Current tallies of the calling thread.
-inline const InsnCounters& counters() { return detail::t_counters; }
+inline const InsnCounters& counters() { return detail::t_counters(); }
 
 /// Reset tallies of the calling thread to zero.
 void reset_counters();
 
+/// Add a tally delta to the calling thread's counters.  Used by the
+/// threading layer (support/parallel.h) to credit worker-thread
+/// instruction counts back to the thread that launched the loop.
+inline void absorb_counters(const InsnCounters& delta) { detail::t_counters() += delta; }
+
 /// RAII scope: captures the delta of instruction counts during its lifetime.
 class CounterScope {
  public:
-  CounterScope() : start_(detail::t_counters) {}
+  CounterScope() : start_(detail::t_counters()) {}
 
   /// Instructions executed since construction.
-  InsnCounters delta() const { return detail::t_counters - start_; }
+  InsnCounters delta() const { return detail::t_counters() - start_; }
 
  private:
   InsnCounters start_;
 };
 
 namespace detail {
-inline void count(InsnClass c) { ++t_counters.count[static_cast<unsigned>(c)]; }
+inline void count(InsnClass c) { ++t_counters().count[static_cast<unsigned>(c)]; }
 }  // namespace detail
 
 }  // namespace svelat::sve

@@ -5,27 +5,26 @@
 namespace svelat::sve {
 
 namespace detail {
-thread_local Tracer* t_tracer = nullptr;
 
 void trace_line(const char* mnemonic, const char* suffix) {
-  if (t_tracer == nullptr) return;
+  if (t_tracer() == nullptr) return;
   std::string line = mnemonic;
   if (suffix[0] != '\0') {
     line += '.';
     line += suffix;
   }
-  t_tracer->append(std::move(line));
+  t_tracer()->append(std::move(line));
 }
 
 void trace_line_imm(const char* mnemonic, const char* suffix, int imm) {
-  if (t_tracer == nullptr) return;
+  if (t_tracer() == nullptr) return;
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%s.%s, #%d", mnemonic, suffix, imm);
-  t_tracer->append(buf);
+  t_tracer()->append(buf);
 }
 }  // namespace detail
 
-void set_tracer(Tracer* tracer) { detail::t_tracer = tracer; }
+void set_tracer(Tracer* tracer) { detail::t_tracer() = tracer; }
 
 std::string Tracer::listing() const {
   std::string out;

@@ -31,9 +31,14 @@ class Tracer {
 };
 
 namespace detail {
-extern thread_local Tracer* t_tracer;
+// Function-local thread_local (same pattern as sve_counters.h): trivial
+// TLS access, safe in UBSan-instrumented builds.
+inline Tracer*& t_tracer() {
+  thread_local Tracer* t = nullptr;
+  return t;
+}
 
-inline bool tracing() { return t_tracer != nullptr; }
+inline bool tracing() { return t_tracer() != nullptr; }
 void trace_line(const char* mnemonic, const char* suffix);
 void trace_line_imm(const char* mnemonic, const char* suffix, int imm);
 }  // namespace detail

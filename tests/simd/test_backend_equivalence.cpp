@@ -73,7 +73,6 @@ TYPED_TEST(BackendEquivalenceTest, MultComplexIdenticalAcrossBackends) {
 }
 
 TYPED_TEST(BackendEquivalenceTest, MacIdenticalAcrossBackends) {
-  constexpr std::size_t VLB = TypeParam::value;
   auto g = this->template make<Generic>(3);
   auto f = this->template make<SveFcmla>(3);
   auto r = this->template make<SveReal>(3);
@@ -87,7 +86,6 @@ TYPED_TEST(BackendEquivalenceTest, MacIdenticalAcrossBackends) {
 }
 
 TYPED_TEST(BackendEquivalenceTest, ConjTimesIPermuteIdentical) {
-  constexpr std::size_t VLB = TypeParam::value;
   const auto g = this->template make<Generic>(6);
   const auto f = this->template make<SveFcmla>(6);
   const auto r = this->template make<SveReal>(6);
@@ -110,7 +108,6 @@ TYPED_TEST(BackendEquivalenceTest, InstructionMixFcmlaVsReal) {
   // The Sec. V-E ablation at functor granularity: the real-arithmetic
   // alternative spends strictly more instructions per MultComplex than the
   // FCMLA path (permutes + separate mul/fma chains vs two FCMLA).
-  constexpr std::size_t VLB = TypeParam::value;
   const auto f1 = this->template make<SveFcmla>(7);
   const auto f2 = this->template make<SveFcmla>(8);
   const auto r1 = this->template make<SveReal>(7);

@@ -1,0 +1,219 @@
+// Threading layer tests: exact index coverage, instruction-count
+// transparency, and bitwise thread-count-independence of the deterministic
+// reductions (expression eval and CG residuals serial vs threaded).
+#include "support/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "lattice/expr.h"
+#include "lattice/fill.h"
+#include "lattice/memory_ops.h"
+#include "qcd/types.h"
+#include "qcd/wilson.h"
+#include "solver/cg.h"
+#include "sve/sve.h"
+
+namespace svelat {
+namespace {
+
+using S = simd::SimdComplex<double, simd::kVLB512, simd::SveFcmla>;
+using Field = lattice::Lattice<tensor::iVector<S, 3>>;
+
+TEST(ThreadForTest, CoversEveryIndexExactlyOnce) {
+  constexpr std::int64_t n = 1237;  // deliberately not a multiple of anything
+  std::vector<int> hits(n, 0);
+  thread_for(n, [&](std::int64_t i) { ++hits[static_cast<std::size_t>(i)]; });
+  for (std::int64_t i = 0; i < n; ++i)
+    EXPECT_EQ(hits[static_cast<std::size_t>(i)], 1) << i;
+}
+
+TEST(ThreadForTest, HandlesEmptyAndSingleIteration) {
+  std::atomic<int> calls{0};
+  thread_for(0, [&](std::int64_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+  thread_for(1, [&](std::int64_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(ThreadForTest, NestedCallsFallBackToSerial) {
+  std::atomic<std::int64_t> total{0};
+  thread_for(8, [&](std::int64_t) {
+    // Inside a parallel construct the inner loop must not spawn a nested
+    // team; it still has to cover its range exactly once.
+    std::int64_t local = 0;
+    thread_for(100, [&](std::int64_t) { ++local; });
+    total += local;
+  });
+  EXPECT_EQ(total.load(), 800);
+}
+
+TEST(ParallelRegionTest, RunsBodyOncePerThread) {
+  std::atomic<int> bodies{0};
+  parallel_region([&] { ++bodies; });
+  EXPECT_EQ(bodies.load(), max_threads());
+}
+
+TEST(ParallelRegionTest, ThreadForInsideRegionWorkSharesExactlyOnce) {
+  constexpr std::int64_t n = 999;
+  std::vector<int> hits(n, 0);
+  std::vector<std::complex<double>> sums(static_cast<std::size_t>(max_threads()));
+  parallel_region([&] {
+    // Work-shared across the team: each index is claimed by one thread.
+    thread_for(n, [&](std::int64_t i) { ++hits[static_cast<std::size_t>(i)]; });
+    // A reduction inside the region stays private to each thread and must
+    // still see the full range.
+    sums[static_cast<std::size_t>(thread_num())] = parallel_reduce(
+        n, std::complex<double>{},
+        [](std::int64_t i) { return std::complex<double>(static_cast<double>(i), 0.0); });
+  });
+  for (std::int64_t i = 0; i < n; ++i)
+    EXPECT_EQ(hits[static_cast<std::size_t>(i)], 1) << i;
+  const double expect = static_cast<double>(n) * (n - 1) / 2;
+  for (int t = 0; t < max_threads(); ++t)
+    EXPECT_EQ(sums[static_cast<std::size_t>(t)].real(), expect) << t;
+}
+
+TEST(ParallelReduceTest, SumsLongRangeExactly) {
+  constexpr std::int64_t n = 10'000;
+  const double sum =
+      parallel_reduce(n, 0.0, [](std::int64_t i) { return static_cast<double>(i); });
+  EXPECT_EQ(sum, static_cast<double>(n) * (n - 1) / 2);
+}
+
+TEST(ParallelReduceTest, BitwiseIndependentOfThreadCount) {
+  constexpr std::int64_t n = 4096 + 17;
+  auto run = [&] {
+    return parallel_reduce(n, 0.0, [](std::int64_t i) {
+      // An ill-conditioned mix that would expose any regrouping.
+      return 1.0 / static_cast<double>(i + 1) * ((i % 2) != 0 ? -1.0 : 1.0);
+    });
+  };
+  ThreadCountGuard one(1);
+  const double serial = run();
+  for (int t : {2, 3, 4, 7}) {
+    ThreadCountGuard guard(t);
+    const double threaded = run();
+    EXPECT_EQ(serial, threaded) << t << " threads";
+  }
+}
+
+class ParallelLatticeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    sve::set_vector_length(512);
+    grid_ = std::make_unique<lattice::GridCartesian>(
+        lattice::Coordinate{4, 4, 4, 8},
+        lattice::GridCartesian::default_simd_layout(S::Nsimd()));
+  }
+  std::unique_ptr<lattice::GridCartesian> grid_;
+};
+
+TEST_F(ParallelLatticeTest, FillIsThreadCountInvariant) {
+  Field serial(grid_.get()), threaded(grid_.get());
+  {
+    ThreadCountGuard one(1);
+    gaussian_fill(SiteRNG(11), serial);
+  }
+  {
+    ThreadCountGuard four(4);
+    gaussian_fill(SiteRNG(11), threaded);
+  }
+  EXPECT_EQ(norm2(serial - threaded), 0.0);
+}
+
+TEST_F(ParallelLatticeTest, ExpressionEvalMatchesSerialBitwise) {
+  Field a(grid_.get()), b(grid_.get()), c(grid_.get());
+  gaussian_fill(SiteRNG(1), a);
+  gaussian_fill(SiteRNG(2), b);
+  gaussian_fill(SiteRNG(3), c);
+  const std::complex<double> alpha{0.5, -1.25};
+
+  Field r_serial(grid_.get()), r_threaded(grid_.get());
+  using namespace lattice::expr;
+  std::complex<double> ip_serial, ip_threaded;
+  {
+    ThreadCountGuard one(1);
+    eval_into(r_serial, alpha * ref(a) + ref(b) - timesI(ref(c)));
+    ip_serial = inner_product(a, alpha * ref(b) + ref(c));
+  }
+  {
+    ThreadCountGuard four(4);
+    eval_into(r_threaded, alpha * ref(a) + ref(b) - timesI(ref(c)));
+    ip_threaded = inner_product(a, alpha * ref(b) + ref(c));
+  }
+  EXPECT_EQ(norm2(r_serial - r_threaded), 0.0);
+  EXPECT_EQ(ip_serial.real(), ip_threaded.real());
+  EXPECT_EQ(ip_serial.imag(), ip_threaded.imag());
+}
+
+TEST_F(ParallelLatticeTest, CgResidualsMatchSerialBitwise) {
+  qcd::GaugeField<S> gauge(grid_.get());
+  qcd::random_gauge(SiteRNG(2018), gauge);
+  qcd::LatticeFermion<S> b(grid_.get());
+  gaussian_fill(SiteRNG(6), b);
+  const qcd::WilsonDirac<S> dirac(gauge, 0.2);
+
+  auto solve = [&] {
+    qcd::LatticeFermion<S> x(grid_.get());
+    x.set_zero();
+    return solver::solve_wilson(dirac, b, x, 1e-8, 200);
+  };
+  ThreadCountGuard one(1);
+  const auto serial = solve();
+  ThreadCountGuard four(4);
+  const auto threaded = solve();
+
+  ASSERT_EQ(serial.iterations, threaded.iterations);
+  ASSERT_EQ(serial.residual_history.size(), threaded.residual_history.size());
+  for (std::size_t k = 0; k < serial.residual_history.size(); ++k)
+    EXPECT_EQ(serial.residual_history[k], threaded.residual_history[k])
+        << "iteration " << k;
+  EXPECT_EQ(serial.final_residual, threaded.final_residual);
+  EXPECT_EQ(serial.true_residual, threaded.true_residual);
+}
+
+TEST_F(ParallelLatticeTest, TracedLoopsCaptureTheFullInstructionStream) {
+  Field src(grid_.get()), dst(grid_.get());
+  gaussian_fill(SiteRNG(5), src);
+  dst.set_zero();
+
+  auto trace_copy = [&] {
+    sve::Tracer tracer;
+    {
+      sve::TraceScope scope(tracer);
+      lattice::copy_field(dst, src);
+    }
+    return tracer.lines().size();
+  };
+  ThreadCountGuard one(1);
+  const auto serial = trace_copy();
+  ThreadCountGuard four(4);
+  const auto threaded = trace_copy();  // tracer installed => loop serializes
+  EXPECT_GT(serial, 0u);
+  EXPECT_EQ(serial, threaded);
+}
+
+TEST_F(ParallelLatticeTest, CounterScopeSeesWorkerThreadInstructions) {
+  Field src(grid_.get()), dst(grid_.get());
+  gaussian_fill(SiteRNG(5), src);
+  dst.set_zero();
+
+  auto count_copy = [&] {
+    sve::CounterScope scope;
+    lattice::copy_field(dst, src);
+    return scope.delta().memory_insns();
+  };
+  ThreadCountGuard one(1);
+  const auto serial = count_copy();
+  ThreadCountGuard four(4);
+  const auto threaded = count_copy();
+  EXPECT_GT(serial, 0u);
+  EXPECT_EQ(serial, threaded);
+}
+
+}  // namespace
+}  // namespace svelat
