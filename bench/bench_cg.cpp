@@ -2,9 +2,21 @@
 // solvers dominate LQCD runtime).  Solves M x = b on a random gauge
 // background for every vector length and backend; verifies the iteration
 // count is layout-independent and reports simulated Dslash throughput.
+//
+// Second section: the even-odd Schur solve on zero-padded full-lattice
+// fields vs true half-checkerboard fields.  Both run the same algorithm;
+// the half path must execute <= 55% of the padded path's dynamic
+// instructions per CG iteration (sve::CounterScope) -- the acceptance
+// gate of the half-checkerboard refactor, enforced by the exit code.
+//
+// `--json` prints a machine-readable summary (consumed by CI artifacts
+// and bench/baseline.json) instead of the human tables.
 #include <cstdio>
+#include <cstring>
+#include <iterator>
 
 #include "core/svelat.h"
+#include "qcd/even_odd.h"
 
 namespace {
 
@@ -40,12 +52,58 @@ Row run(const char* backend) {
           stats.true_residual, flops / 1e6 / secs};
 }
 
+struct SchurComparison {
+  unsigned vl;
+  int padded_iterations;
+  int half_iterations;
+  double padded_insns_per_iter;
+  double half_insns_per_iter;
+  double ratio;           ///< half / padded dynamic instructions per iteration
+  double solution_delta;  ///< |x_half - x_padded|^2 / |x_padded|^2
+};
+
+/// Zero-padded vs half-checkerboard Schur CG at one vector length.
+template <typename S>
+SchurComparison run_schur_comparison() {
+  sve::VLGuard vl(8 * S::vlb);
+  lattice::GridCartesian grid({4, 4, 4, 8},
+                              lattice::GridCartesian::default_simd_layout(S::Nsimd()));
+  qcd::GaugeField<S> gauge(&grid);
+  qcd::random_gauge(SiteRNG(2018), gauge);
+  qcd::LatticeFermion<S> b(&grid), x_padded(&grid), x_half(&grid);
+  gaussian_fill(SiteRNG(6), b);
+  x_half.set_zero();
+
+  SchurComparison c{};
+  c.vl = static_cast<unsigned>(8 * S::vlb);
+  const double tol = 1e-8;
+  {
+    const qcd::EvenOddWilson<S> eo(gauge, 0.2);
+    sve::CounterScope scope;
+    const auto stats = qcd::solve_wilson_schur(eo, b, x_padded, tol, 1000);
+    c.padded_iterations = stats.iterations;
+    c.padded_insns_per_iter =
+        static_cast<double>(scope.delta().total()) / stats.iterations;
+  }
+  {
+    const qcd::SchurEvenOddWilson<S> eo(gauge, 0.2);
+    sve::CounterScope scope;
+    const auto stats = qcd::solve_wilson_schur_half(eo, b, x_half, tol, 1000);
+    c.half_iterations = stats.iterations;
+    c.half_insns_per_iter =
+        static_cast<double>(scope.delta().total()) / stats.iterations;
+  }
+  c.ratio = c.half_insns_per_iter / c.padded_insns_per_iter;
+  c.solution_delta = norm2(x_half - x_padded) / norm2(x_padded);
+  return c;
+}
+
 }  // namespace
 
-int main() {
-  std::printf("=== E2: CG on the Wilson operator, 4^3 x 8, mass 0.2, tol 1e-8 ===\n\n");
-  std::printf("  %-6s %-10s %6s %9s %14s %12s\n", "VL", "backend", "iters", "wall s",
-              "true resid", "sim MFlop/s");
+int main(int argc, char** argv) {
+  bool json = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--json") == 0) json = true;
 
   Row rows[] = {
       run<simd::SimdComplex<double, simd::kVLB128, simd::Generic>>("generic"),
@@ -58,13 +116,72 @@ int main() {
       run<simd::SimdComplex<double, simd::kVLB256, simd::SveReal>>("sve-real"),
       run<simd::SimdComplex<double, simd::kVLB512, simd::SveReal>>("sve-real"),
   };
-
+  const SchurComparison schur[] = {
+      run_schur_comparison<simd::SimdComplex<double, simd::kVLB128, simd::SveFcmla>>(),
+      run_schur_comparison<simd::SimdComplex<double, simd::kVLB512, simd::SveFcmla>>(),
+  };
   bool same_iters = true;
+  for (const auto& r : rows)
+    same_iters = same_iters && (r.iterations == rows[0].iterations);
+  // Two independent gates: the instruction-ratio target of the
+  // half-checkerboard refactor, and agreement of the two solvers'
+  // solutions (drift here means a correctness bug, not a perf one).
+  bool ratio_gate = true, solutions_agree = true;
+  for (const auto& c : schur) {
+    ratio_gate = ratio_gate && c.ratio <= 0.55;
+    solutions_agree = solutions_agree && c.solution_delta < 1e-16;
+  }
+
+  if (json) {
+    std::printf("{\n  \"benchmark\": \"bench_cg\",\n  \"lattice\": [4, 4, 4, 8],\n");
+    std::printf("  \"full_cg\": [\n");
+    for (std::size_t i = 0; i < std::size(rows); ++i) {
+      const auto& r = rows[i];
+      std::printf("    {\"vl\": %u, \"backend\": \"%s\", \"iterations\": %d, "
+                  "\"true_residual\": %.17g}%s\n",
+                  r.vl, r.backend, r.iterations, r.true_residual,
+                  i + 1 < std::size(rows) ? "," : "");
+    }
+    std::printf("  ],\n  \"schur_half_vs_padded\": [\n");
+    for (std::size_t i = 0; i < std::size(schur); ++i) {
+      const auto& c = schur[i];
+      std::printf("    {\"vl\": %u, \"padded_insns_per_iter\": %.1f, "
+                  "\"half_insns_per_iter\": %.1f, \"ratio\": %.4f, "
+                  "\"padded_iterations\": %d, \"half_iterations\": %d, "
+                  "\"solution_delta\": %.3g}%s\n",
+                  c.vl, c.padded_insns_per_iter, c.half_insns_per_iter, c.ratio,
+                  c.padded_iterations, c.half_iterations, c.solution_delta,
+                  i + 1 < std::size(schur) ? "," : "");
+    }
+    std::printf("  ],\n  \"iterations_layout_independent\": %s,\n"
+                "  \"schur_half_gate_055\": %s,\n"
+                "  \"schur_solutions_agree\": %s\n}\n",
+                same_iters ? "true" : "false", ratio_gate ? "true" : "false",
+                solutions_agree ? "true" : "false");
+    return (same_iters && ratio_gate && solutions_agree) ? 0 : 1;
+  }
+
+  std::printf("=== E2: CG on the Wilson operator, 4^3 x 8, mass 0.2, tol 1e-8 ===\n\n");
+  std::printf("  %-6s %-10s %6s %9s %14s %12s\n", "VL", "backend", "iters", "wall s",
+              "true resid", "sim MFlop/s");
   for (const auto& r : rows) {
     std::printf("  %-6u %-10s %6d %9.2f %14.3e %12.1f\n", r.vl, r.backend, r.iterations,
                 r.seconds, r.true_residual, r.mflops);
-    same_iters = same_iters && (r.iterations == rows[0].iterations);
   }
   std::printf("\niteration count layout-independent: %s\n", same_iters ? "yes" : "NO");
-  return same_iters ? 0 : 1;
+
+  std::printf("\n=== Schur CG: zero-padded full fields vs half-checkerboard ===\n\n");
+  std::printf("  %-6s %16s %16s %8s %9s %12s\n", "VL", "padded insn/it",
+              "half insn/it", "ratio", "iters", "soln delta");
+  for (const auto& c : schur) {
+    std::printf("  %-6u %16.0f %16.0f %8.3f %4d/%-4d %12.3g\n", c.vl,
+                c.padded_insns_per_iter, c.half_insns_per_iter, c.ratio,
+                c.padded_iterations, c.half_iterations, c.solution_delta);
+  }
+  std::printf("\nhalf-checkerboard <= 55%% of padded instructions/iteration: %s\n",
+              ratio_gate ? "yes" : "NO");
+  std::printf("half and padded Schur solutions agree (< 1e-16): %s\n",
+              solutions_agree ? "yes" : "NO");
+
+  return (same_iters && ratio_gate && solutions_agree) ? 0 : 1;
 }

@@ -39,9 +39,11 @@ inline void permute_site(tensor::iMatrix<T, N>& t, unsigned d) {
 
 /// Fetch the neighbour site object in direction dir (stencil convention:
 /// dir < Nd is +mu, dir >= Nd is -mu), permuting lanes when the hop
-/// crosses the virtual-node boundary.
-template <class vobj>
-inline vobj fetch_neighbour(const Lattice<vobj>& f, const Stencil& st,
+/// crosses the virtual-node boundary.  Generic over the stencil flavour:
+/// a full-grid Stencil reads the same field, a StencilRedBlack reads the
+/// opposite-parity half field (both expose entry() -> StencilEntry).
+template <class vobj, class GridT, class TableT>
+inline vobj fetch_neighbour(const Lattice<vobj, GridT>& f, const TableT& st,
                             std::int64_t osite, int dir) {
   const auto& e = st.entry(osite, dir);
   vobj v = f[e.osite];

@@ -26,15 +26,17 @@ struct component_view {
 }  // namespace detail
 
 /// Fill with unit gaussians (independent per component and site).
-template <class vobj>
-void gaussian_fill(const SiteRNG& rng, Lattice<vobj>& f) {
-  using sobj = typename Lattice<vobj>::scalar_object;
+template <class vobj, class GridT>
+void gaussian_fill(const SiteRNG& rng, Lattice<vobj, GridT>& f) {
+  using sobj = typename Lattice<vobj, GridT>::scalar_object;
   using view = detail::component_view<sobj>;
   using C = typename view::C;
   using R = typename C::value_type;
-  const GridCartesian* g = f.grid();
+  const GridT* g = f.grid();
   // Counter-based draws are a pure function of (seed, site, slot), so the
   // outer-site loop threads without changing a single bit of the fill.
+  // On a GridRedBlackCartesian the keys are full-lattice indices, so a
+  // half-field fill bitwise matches the same parity of a full-field fill.
   thread_for(g->osites(), [&](std::int64_t o) {
     for (unsigned l = 0; l < g->isites(); ++l) {
       const Coordinate x = g->global_coor(o, l);
@@ -51,13 +53,13 @@ void gaussian_fill(const SiteRNG& rng, Lattice<vobj>& f) {
 }
 
 /// Fill with uniform draws in [lo, hi) (component-wise, re and im).
-template <class vobj>
-void uniform_fill(const SiteRNG& rng, Lattice<vobj>& f, double lo, double hi) {
-  using sobj = typename Lattice<vobj>::scalar_object;
+template <class vobj, class GridT>
+void uniform_fill(const SiteRNG& rng, Lattice<vobj, GridT>& f, double lo, double hi) {
+  using sobj = typename Lattice<vobj, GridT>::scalar_object;
   using view = detail::component_view<sobj>;
   using C = typename view::C;
   using R = typename C::value_type;
-  const GridCartesian* g = f.grid();
+  const GridT* g = f.grid();
   thread_for(g->osites(), [&](std::int64_t o) {
     for (unsigned l = 0; l < g->isites(); ++l) {
       const Coordinate x = g->global_coor(o, l);

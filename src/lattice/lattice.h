@@ -1,9 +1,15 @@
-// Lattice<vobj>: a field of vectorized site objects over a GridCartesian.
+// Lattice<vobj, GridT>: a field of vectorized site objects over a grid.
 //
 // Storage is one vobj per *outer* site; SIMD lane l of each vobj belongs to
 // virtual node l (paper Fig. 1).  Site-wise arithmetic maps directly onto
 // the SIMD abstraction layer; global reductions reduce over lanes at the
 // end.  peek/poke address *global* coordinates, hiding the layout.
+//
+// GridT defaults to the full-lattice GridCartesian; any type satisfying
+// the same indexing concept (osites/isites/outer_index/inner_index/
+// global_coor/operator==) works -- in particular GridRedBlackCartesian
+// (lattice/red_black.h) gives half-checkerboard fields that store only
+// one parity at half the memory.
 #pragma once
 
 #include <complex>
@@ -16,20 +22,21 @@
 
 namespace svelat::lattice {
 
-template <class vobj>
+template <class vobj, class GridT = GridCartesian>
 class Lattice {
  public:
   using vector_object = vobj;
   using scalar_object = tensor::scalar_object_t<vobj>;
   using simd_type = tensor::scalar_element_t<vobj>;
+  using grid_type = GridT;
 
-  explicit Lattice(const GridCartesian* grid)
+  explicit Lattice(const GridT* grid)
       : grid_(grid), data_(static_cast<std::size_t>(grid->osites())) {
     SVELAT_ASSERT_MSG(grid->isites() == simd_type::Nsimd(),
                       "grid SIMD layout does not match the vector object's lane count");
   }
 
-  const GridCartesian* grid() const { return grid_; }
+  const GridT* grid() const { return grid_; }
   std::int64_t osites() const { return grid_->osites(); }
 
   vobj& operator[](std::int64_t osite) { return data_[static_cast<std::size_t>(osite)]; }
@@ -102,25 +109,26 @@ class Lattice {
   }
 
  private:
-  const GridCartesian* grid_;
+  const GridT* grid_;
   AlignedVector<vobj> data_;
 };
 
 /// axpy: r = a*x + y  (a is a scalar coefficient) -- the CG workhorse.
-template <class vobj, typename S>
-void axpy(Lattice<vobj>& r, const S& a, const Lattice<vobj>& x, const Lattice<vobj>& y) {
+template <class vobj, class GridT, typename S>
+void axpy(Lattice<vobj, GridT>& r, const S& a, const Lattice<vobj, GridT>& x,
+          const Lattice<vobj, GridT>& y) {
   x.check_same(y);
-  using simd_type = typename Lattice<vobj>::simd_type;
+  using simd_type = typename Lattice<vobj, GridT>::simd_type;
   const simd_type coeff{typename simd_type::scalar_type(a)};
   thread_for(x.osites(), [&](std::int64_t o) { r[o] = coeff * x[o] + y[o]; });
 }
 
 /// Global inner product: sum_x conj(a_x) . b_x, reduced over lanes.
 /// Chunked deterministic reduction: bitwise independent of thread count.
-template <class vobj>
-auto innerProduct(const Lattice<vobj>& a, const Lattice<vobj>& b) {
+template <class vobj, class GridT>
+auto innerProduct(const Lattice<vobj, GridT>& a, const Lattice<vobj, GridT>& b) {
   a.check_same(b);
-  using simd_type = typename Lattice<vobj>::simd_type;
+  using simd_type = typename Lattice<vobj, GridT>::simd_type;
   const simd_type acc = parallel_reduce(
       a.osites(), simd_type::zero(),
       [&](std::int64_t o) { return tensor::innerProduct(a[o], b[o]); });
@@ -128,8 +136,8 @@ auto innerProduct(const Lattice<vobj>& a, const Lattice<vobj>& b) {
 }
 
 /// Global squared norm.
-template <class vobj>
-double norm2(const Lattice<vobj>& a) {
+template <class vobj, class GridT>
+double norm2(const Lattice<vobj, GridT>& a) {
   return std::real(innerProduct(a, a));
 }
 
@@ -137,11 +145,11 @@ double norm2(const Lattice<vobj>& a) {
 /// the per-iteration tail of CG/BiCGSTAB (update the residual, then take
 /// its norm) without re-reading r.  Same deterministic reduction tree as
 /// innerProduct, so the result matches axpy + norm2 run separately.
-template <class vobj, typename S>
-double axpy_norm2(Lattice<vobj>& r, const S& a, const Lattice<vobj>& x,
-                  const Lattice<vobj>& y) {
+template <class vobj, class GridT, typename S>
+double axpy_norm2(Lattice<vobj, GridT>& r, const S& a, const Lattice<vobj, GridT>& x,
+                  const Lattice<vobj, GridT>& y) {
   x.check_same(y);
-  using simd_type = typename Lattice<vobj>::simd_type;
+  using simd_type = typename Lattice<vobj, GridT>::simd_type;
   const simd_type coeff{typename simd_type::scalar_type(a)};
   const simd_type acc =
       parallel_reduce(x.osites(), simd_type::zero(), [&](std::int64_t o) {

@@ -6,4 +6,5 @@
 #include "lattice/cshift.h"       // IWYU pragma: export
 #include "lattice/fill.h"         // IWYU pragma: export
 #include "lattice/lattice.h"      // IWYU pragma: export
+#include "lattice/red_black.h"    // IWYU pragma: export
 #include "lattice/stencil.h"      // IWYU pragma: export

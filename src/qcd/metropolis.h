@@ -100,7 +100,8 @@ SweepStats metropolis_sweep(GaugeField<S>& g, const MetropolisParams& params,
   using namespace lattice;
   const GridCartesian* grid = g.grid();
   const Coordinate dims = grid->fdimensions();
-  const SiteRNG rng(params.seed + 0x9e3779b97f4a7c15ull * static_cast<std::uint64_t>(sweep_number));
+  const SiteRNG rng(params.seed +
+                    0x9e3779b97f4a7c15ull * static_cast<std::uint64_t>(sweep_number));
 
   long long proposed = 0, accepted = 0;
   for (std::int64_t site = 0; site < grid->gsites(); ++site) {

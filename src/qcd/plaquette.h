@@ -22,8 +22,8 @@ double average_plaquette(const GaugeField<S>& g) {
       const LatticeColourMatrix<S> u_mu_xpnu = Cshift(g.U[mu], nu, +1);
       S acc = S::zero();
       for (std::int64_t o = 0; o < grid->osites(); ++o) {
-        const auto staple =
-            g.U[mu][o] * u_nu_xpmu[o] * tensor::adj(u_mu_xpnu[o]) * tensor::adj(g.U[nu][o]);
+        const auto staple = g.U[mu][o] * u_nu_xpmu[o] * tensor::adj(u_mu_xpnu[o]) *
+                            tensor::adj(g.U[nu][o]);
         acc += tensor::trace(staple);
       }
       total += reduce(acc).real();

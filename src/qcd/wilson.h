@@ -25,6 +25,50 @@
 
 namespace svelat::qcd {
 
+namespace detail {
+
+/// One site of the hopping term, Eq. (1): the eight projected hops
+/// accumulated into a spinor.  Generic over the stencil table and field
+/// types so the full-lattice and half-checkerboard kernels share the
+/// identical arithmetic (bitwise: same inputs give the same site result).
+/// `o` simultaneously indexes the table, the gauge fields and the output
+/// site; the table routes neighbour reads into `in` (same grid for the
+/// full Stencil, the opposite-parity half grid for StencilRedBlack).
+template <class S, class FermT, class TableT, class UFieldT>
+inline SpinColourVector<S> dhop_site(const FermT& in, const TableT& st,
+                                     const UFieldT* u_fwd, const UFieldT* u_bwd,
+                                     std::int64_t o) {
+  using namespace lattice;
+  SpinColourVector<S> acc = tensor::Zero<SpinColourVector<S>>();
+  for (int mu = 0; mu < Nd; ++mu) {
+    {  // forward hop: U_{x,mu} (1 + gamma_mu) psi_{x+mu}
+      const SpinColourVector<S> nbr = fetch_neighbour(in, st, o, mu);
+      HalfSpinColourVector<S> h = spin_project(mu, +1, nbr);
+      HalfSpinColourVector<S> uh;
+      const auto& u = u_fwd[mu][o];
+      for (int s = 0; s < Nhs; ++s) uh(s) = u * h(s);
+      spin_reconstruct_accum(mu, +1, uh, acc);
+    }
+    {  // backward hop: U^dag_{x-mu,mu} (1 - gamma_mu) psi_{x-mu}
+      const SpinColourVector<S> nbr = fetch_neighbour(in, st, o, Nd + mu);
+      HalfSpinColourVector<S> h = spin_project(mu, -1, nbr);
+      HalfSpinColourVector<S> uh;
+      const auto& u = u_bwd[mu][o];
+      for (int s = 0; s < Nhs; ++s) uh(s) = tensor::adj_mul(u, h(s));
+      spin_reconstruct_accum(mu, -1, uh, acc);
+    }
+  }
+  return acc;
+}
+
+}  // namespace detail
+
+/// out = gamma5 in, site-wise, on full or half-checkerboard fermions.
+template <class FieldT>
+void apply_gamma5(const FieldT& in, FieldT& out) {
+  thread_for(in.osites(), [&](std::int64_t o) { out[o] = gamma5(in[o]); });
+}
+
 template <class S>
 class WilsonDirac {
  public:
@@ -45,28 +89,8 @@ class WilsonDirac {
   /// site reads neighbours from `in` (never written here) and writes only
   /// its own out[o].
   void dhop(const Fermion& in, Fermion& out) const {
-    using namespace lattice;
     thread_for(grid_->osites(), [&](std::int64_t o) {
-      SpinColourVector<S> acc = tensor::Zero<SpinColourVector<S>>();
-      for (int mu = 0; mu < Nd; ++mu) {
-        {  // forward hop: U_{x,mu} (1 + gamma_mu) psi_{x+mu}
-          const SpinColourVector<S> nbr = fetch_neighbour(in, stencil_, o, mu);
-          HalfSpinColourVector<S> h = spin_project(mu, +1, nbr);
-          HalfSpinColourVector<S> uh;
-          const auto& u = u_fwd_[mu][o];
-          for (int s = 0; s < Nhs; ++s) uh(s) = u * h(s);
-          spin_reconstruct_accum(mu, +1, uh, acc);
-        }
-        {  // backward hop: U^dag_{x-mu,mu} (1 - gamma_mu) psi_{x-mu}
-          const SpinColourVector<S> nbr = fetch_neighbour(in, stencil_, o, Nd + mu);
-          HalfSpinColourVector<S> h = spin_project(mu, -1, nbr);
-          HalfSpinColourVector<S> uh;
-          const auto& u = u_bwd_[mu][o];
-          for (int s = 0; s < Nhs; ++s) uh(s) = tensor::adj_mul(u, h(s));
-          spin_reconstruct_accum(mu, -1, uh, acc);
-        }
-      }
-      out[o] = acc;
+      out[o] = detail::dhop_site<S>(in, stencil_, u_fwd_, u_bwd_, o);
     });
   }
 
@@ -96,7 +120,7 @@ class WilsonDirac {
   }
 
   static void apply_gamma5(const Fermion& in, Fermion& out) {
-    thread_for(in.osites(), [&](std::int64_t o) { out[o] = gamma5(in[o]); });
+    qcd::apply_gamma5(in, out);
   }
 
  private:
@@ -107,6 +131,96 @@ class WilsonDirac {
   // the backward hop (avoids a shift per application, like Grid).
   LatticeColourMatrix<S> u_fwd_[lattice::Nd];
   LatticeColourMatrix<S> u_bwd_[lattice::Nd];
+};
+
+// ---------------------------------------------------------------------------
+// Parity-restricted hopping kernels on half-checkerboard fields.
+//
+// Dh couples only opposite parities, so restricted to a target parity it
+// is a map between the two half lattices:
+//
+//   dhop_eo:  out_e = Dh_eo in_o     (reads odd sites, writes even sites)
+//   dhop_oe:  out_o = Dh_oe in_e     (reads even sites, writes odd sites)
+//
+// Fields, gauge links and stencil tables are all half-volume, so one
+// application moves half the memory and executes half the instructions of
+// a full-lattice dhop -- the production layout of Grid's red-black
+// preconditioned solvers (paper Sec. II-A).  Arithmetic per site is
+// bitwise identical to WilsonDirac::dhop (shared detail::dhop_site).
+// ---------------------------------------------------------------------------
+template <class S>
+class WilsonDiracEO {
+ public:
+  using HalfFermion = HalfLatticeFermion<S>;
+
+  WilsonDiracEO(const GaugeField<S>& gauge, double mass)
+      : mass_(mass),
+        even_(gauge.grid(), lattice::kParityEven),
+        odd_(gauge.grid(), lattice::kParityOdd),
+        st_eo_(&even_, &odd_),
+        st_oe_(&odd_, &even_),
+        u_fwd_e_{HalfLatticeColourMatrix<S>(&even_), HalfLatticeColourMatrix<S>(&even_),
+                 HalfLatticeColourMatrix<S>(&even_), HalfLatticeColourMatrix<S>(&even_)},
+        u_bwd_e_{HalfLatticeColourMatrix<S>(&even_), HalfLatticeColourMatrix<S>(&even_),
+                 HalfLatticeColourMatrix<S>(&even_), HalfLatticeColourMatrix<S>(&even_)},
+        u_fwd_o_{HalfLatticeColourMatrix<S>(&odd_), HalfLatticeColourMatrix<S>(&odd_),
+                 HalfLatticeColourMatrix<S>(&odd_), HalfLatticeColourMatrix<S>(&odd_)},
+        u_bwd_o_{HalfLatticeColourMatrix<S>(&odd_), HalfLatticeColourMatrix<S>(&odd_),
+                 HalfLatticeColourMatrix<S>(&odd_), HalfLatticeColourMatrix<S>(&odd_)} {
+    // Split the double-stored gauge (U_mu(x) and U_mu(x - mu^)) by the
+    // parity of the *target* site x, so each kernel reads compact links.
+    for (int mu = 0; mu < lattice::Nd; ++mu) {
+      lattice::pick_checkerboard(gauge.U[mu], u_fwd_e_[mu]);
+      lattice::pick_checkerboard(gauge.U[mu], u_fwd_o_[mu]);
+      const LatticeColourMatrix<S> shifted = lattice::Cshift(gauge.U[mu], mu, -1);
+      lattice::pick_checkerboard(shifted, u_bwd_e_[mu]);
+      lattice::pick_checkerboard(shifted, u_bwd_o_[mu]);
+    }
+  }
+
+  // Half fields hold pointers to the member grids: moving the operator
+  // would dangle them.
+  WilsonDiracEO(const WilsonDiracEO&) = delete;
+  WilsonDiracEO& operator=(const WilsonDiracEO&) = delete;
+
+  double mass() const { return mass_; }
+  const lattice::GridRedBlackCartesian* even_grid() const { return &even_; }
+  const lattice::GridRedBlackCartesian* odd_grid() const { return &odd_; }
+
+  /// out_e = Dh_eo in_o: read the odd half field, write the even one.
+  void dhop_eo(const HalfFermion& in_odd, HalfFermion& out_even) const {
+    SVELAT_ASSERT_MSG(
+        in_odd.grid()->parity() == lattice::kParityOdd &&
+            out_even.grid()->parity() == lattice::kParityEven,
+        "dhop_eo maps an odd-parity field to an even-parity field");
+    thread_for(even_.osites(), [&](std::int64_t h) {
+      out_even[h] = detail::dhop_site<S>(in_odd, st_eo_, u_fwd_e_, u_bwd_e_, h);
+    });
+  }
+
+  /// out_o = Dh_oe in_e: read the even half field, write the odd one.
+  void dhop_oe(const HalfFermion& in_even, HalfFermion& out_odd) const {
+    SVELAT_ASSERT_MSG(
+        in_even.grid()->parity() == lattice::kParityEven &&
+            out_odd.grid()->parity() == lattice::kParityOdd,
+        "dhop_oe maps an even-parity field to an odd-parity field");
+    thread_for(odd_.osites(), [&](std::int64_t h) {
+      out_odd[h] = detail::dhop_site<S>(in_even, st_oe_, u_fwd_o_, u_bwd_o_, h);
+    });
+  }
+
+ private:
+  double mass_;
+  lattice::GridRedBlackCartesian even_;
+  lattice::GridRedBlackCartesian odd_;
+  lattice::StencilRedBlack st_eo_;  ///< target even, source odd
+  lattice::StencilRedBlack st_oe_;  ///< target odd, source even
+  // Gauge links split by target parity: u_fwd_p[mu] = U_mu(x) and
+  // u_bwd_p[mu] = U_mu(x - mu^) for x of parity p.
+  HalfLatticeColourMatrix<S> u_fwd_e_[lattice::Nd];
+  HalfLatticeColourMatrix<S> u_bwd_e_[lattice::Nd];
+  HalfLatticeColourMatrix<S> u_fwd_o_[lattice::Nd];
+  HalfLatticeColourMatrix<S> u_bwd_o_[lattice::Nd];
 };
 
 // ---------------------------------------------------------------------------

@@ -6,6 +6,7 @@
 
 #include <cmath>
 
+#include "qcd/even_odd.h"
 #include "solver/cg.h"
 
 namespace svelat::solver {
@@ -89,6 +90,24 @@ SolverStats solve_wilson_bicgstab(const qcd::WilsonDirac<S>& dirac,
     dirac.m(in, out);
   };
   return bicgstab(op, b, x, tolerance, max_iterations);
+}
+
+/// Schur-preconditioned BiCGSTAB on half-checkerboard fields: Mhat is not
+/// hermitian, so BiCGSTAB solves Mhat x_e = b'_e directly -- no normal
+/// equations, half-volume operands throughout (qcd/even_odd.h).
+template <class S>
+SolverStats solve_wilson_schur_bicgstab(const qcd::SchurEvenOddWilson<S>& eo,
+                                        const qcd::LatticeFermion<S>& b,
+                                        qcd::LatticeFermion<S>& x, double tolerance,
+                                        int max_iterations) {
+  using HalfFermion = qcd::HalfLatticeFermion<S>;
+  return qcd::detail::schur_half_solve(
+      eo, b, x, [&](const HalfFermion& rhs_prime, HalfFermion& x_e) {
+        const auto op = [&eo](const HalfFermion& in, HalfFermion& out) {
+          eo.mhat(in, out);
+        };
+        return bicgstab(op, rhs_prime, x_e, tolerance, max_iterations);
+      });
 }
 
 }  // namespace svelat::solver

@@ -27,6 +27,10 @@ struct SolverStats {
 
 /// CG for A x = b with A hermitian positive definite.  `op(in, out)`
 /// applies A.  `x` carries the initial guess and receives the solution.
+/// Field is any lattice field type with grid()/norm2/innerProduct/axpy --
+/// full Lattice<vobj> or the half-checkerboard fields of the production
+/// Schur path (qcd::solve_wilson_schur_half), whose half-length vectors
+/// halve the per-iteration axpy/norm traffic.
 template <class Field, class LinearOp>
 SolverStats conjugate_gradient(const LinearOp& op, const Field& b, Field& x,
                                double tolerance, int max_iterations) {

@@ -77,7 +77,10 @@ MixedStats solve_wilson_mixed(const qcd::GaugeField<Sd>& gauge_d, double mass,
   for (int mu = 0; mu < lattice::Nd; ++mu) convert_field(gauge_f.U[mu], gauge_d.U[mu]);
 
   const qcd::WilsonDirac<Sd> dirac_d(gauge_d, mass);
-  const qcd::EvenOddWilson<Sf> eo_f(gauge_f, mass);
+  // Inner solver runs on true half-checkerboard fields: on top of the fp32
+  // lane doubling, every inner iteration moves half the data of the
+  // zero-padded even-odd path (qcd/even_odd.h).
+  const qcd::SchurEvenOddWilson<Sf> eo_f(gauge_f, mass);
 
   const double b2 = norm2(b);
   SVELAT_ASSERT_MSG(b2 > 0.0, "mixed CG needs a non-zero right-hand side");
@@ -97,8 +100,8 @@ MixedStats solve_wilson_mixed(const qcd::GaugeField<Sd>& gauge_d, double mass,
     // Inner solve in single precision: M e = r (approximately).
     convert_field(r_f, r);
     e_f.set_zero();
-    const auto inner = qcd::solve_wilson_schur(eo_f, r_f, e_f,
-                                               inner_tolerance, max_inner);
+    const auto inner = qcd::solve_wilson_schur_half(eo_f, r_f, e_f,
+                                                    inner_tolerance, max_inner);
     stats.inner_iterations_total += inner.iterations;
 
     // Defect correction in double precision.

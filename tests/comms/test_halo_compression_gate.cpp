@@ -1,0 +1,95 @@
+// Regression gate for fp16/fp32 halo-exchange compression (ROADMAP item:
+// promote bench_halo_compression from smoke-only to a tier-1 gate).
+//
+// Asserts the two properties the bench previously only reported:
+//   1. Wire compression ratio is exactly 4x (f16) / 2x (f32) -- the
+//      compressed face carries no framing overhead.
+//   2. Round-trip error is within the format's guarantees: f32 round-trip
+//      is correctly rounded (<= 2^-24 relative), f16 round-trip within
+//      2^-11 relative for normal values (10+1 mantissa bits).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "comms/halo.h"
+#include "lattice/fill.h"
+#include "qcd/types.h"
+#include "support/random.h"
+#include "sve/sve.h"
+
+namespace svelat::comms {
+namespace {
+
+using S = simd::SimdComplex<double, simd::kVLB512, simd::SveFcmla>;
+
+class HaloCompressionGate : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    sve::set_vector_length(512);
+    grid_ = std::make_unique<lattice::GridCartesian>(
+        lattice::Coordinate{8, 8, 8, 8},
+        lattice::GridCartesian::default_simd_layout(S::Nsimd()));
+    psi_ = std::make_unique<qcd::LatticeFermion<S>>(grid_.get());
+    gaussian_fill(SiteRNG(33), *psi_);
+    packed_ = pack_face(*psi_, /*mu=*/3, /*slice=*/0);
+  }
+
+  std::unique_ptr<lattice::GridCartesian> grid_;
+  std::unique_ptr<qcd::LatticeFermion<S>> psi_;
+  std::vector<double> packed_;
+};
+
+TEST_F(HaloCompressionGate, WireRatioIsExact) {
+  const std::size_t payload = packed_.size() * sizeof(double);
+  EXPECT_EQ(compress(packed_, Compression::kNone).size(), payload);
+  EXPECT_EQ(compress(packed_, Compression::kF32).size() * 2, payload);
+  EXPECT_EQ(compress(packed_, Compression::kF16).size() * 4, payload);
+}
+
+TEST_F(HaloCompressionGate, ExchangeReportsF16Ratio) {
+  SimCommunicator comm(2);
+  std::size_t wire = 0;
+  const auto received =
+      exchange_face(comm, *psi_, 3, 0, Compression::kF16, 0, 1, &wire);
+  ASSERT_EQ(received.size(), packed_.size());
+  const double ratio =
+      static_cast<double>(packed_.size() * sizeof(double)) / static_cast<double>(wire);
+  EXPECT_DOUBLE_EQ(ratio, 4.0);
+}
+
+TEST_F(HaloCompressionGate, F32RoundTripIsCorrectlyRounded) {
+  const auto wire = compress(packed_, Compression::kF32);
+  const auto back = decompress(wire, packed_.size(), Compression::kF32);
+  ASSERT_EQ(back.size(), packed_.size());
+  for (std::size_t i = 0; i < packed_.size(); ++i) {
+    // double -> float -> double keeps the correctly rounded float value.
+    EXPECT_EQ(back[i], static_cast<double>(static_cast<float>(packed_[i]))) << i;
+    EXPECT_LE(std::abs(back[i] - packed_[i]),
+              std::ldexp(std::abs(packed_[i]), -24) + 1e-300)
+        << i;
+  }
+}
+
+TEST_F(HaloCompressionGate, F16RoundTripWithinHalfPrecisionBound) {
+  const auto wire = compress(packed_, Compression::kF16);
+  const auto back = decompress(wire, packed_.size(), Compression::kF16);
+  ASSERT_EQ(back.size(), packed_.size());
+  double worst_rel = 0.0;
+  for (std::size_t i = 0; i < packed_.size(); ++i) {
+    const double in = packed_[i];
+    const double err = std::abs(back[i] - in);
+    // Normal range of binary16: relative error <= 2^-11; below the
+    // smallest normal (2^-14) quantization is absolute (subnormal ulp
+    // 2^-24).  Gaussian fills stay far inside the overflow limit (~65504).
+    const double bound = std::max(std::ldexp(std::abs(in), -11), std::ldexp(1.0, -24));
+    EXPECT_LE(err, bound) << "element " << i << " value " << in;
+    if (std::abs(in) >= std::ldexp(1.0, -14))
+      worst_rel = std::max(worst_rel, err / std::abs(in));
+  }
+  // The bound is tight in practice: gaussian data actually exercises it.
+  EXPECT_GT(worst_rel, std::ldexp(1.0, -13));
+  EXPECT_LE(worst_rel, std::ldexp(1.0, -11));
+}
+
+}  // namespace
+}  // namespace svelat::comms

@@ -1,0 +1,142 @@
+// GridRedBlackCartesian: half-checkerboard indexing, pick/set round trips,
+// and the parity-restricted stencil tables.
+#include "lattice/red_black.h"
+
+#include <gtest/gtest.h>
+
+#include "lattice/cshift.h"
+#include "lattice/fill.h"
+#include "qcd/types.h"
+#include "sve/sve.h"
+#include "support/random.h"
+
+namespace svelat::lattice {
+namespace {
+
+using S = simd::SimdComplex<double, simd::kVLB512, simd::SveFcmla>;
+using Fermion = qcd::LatticeFermion<S>;
+using HalfFermion = qcd::HalfLatticeFermion<S>;
+
+class RedBlackTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    sve::set_vector_length(512);
+    grid_ = std::make_unique<GridCartesian>(
+        Coordinate{4, 4, 4, 8}, GridCartesian::default_simd_layout(S::Nsimd()));
+    even_ = std::make_unique<GridRedBlackCartesian>(grid_.get(), kParityEven);
+    odd_ = std::make_unique<GridRedBlackCartesian>(grid_.get(), kParityOdd);
+  }
+
+  std::unique_ptr<GridCartesian> grid_;
+  std::unique_ptr<GridRedBlackCartesian> even_;
+  std::unique_ptr<GridRedBlackCartesian> odd_;
+};
+
+TEST_F(RedBlackTest, HalvesTheOuterSites) {
+  EXPECT_EQ(even_->osites() + odd_->osites(), grid_->osites());
+  EXPECT_EQ(even_->osites(), odd_->osites());
+  EXPECT_EQ(even_->isites(), grid_->isites());
+  EXPECT_EQ(even_->gsites() + odd_->gsites(), grid_->gsites());
+}
+
+TEST_F(RedBlackTest, IndexMapsRoundTrip) {
+  for (const auto* rb : {even_.get(), odd_.get()}) {
+    for (std::int64_t h = 0; h < rb->osites(); ++h) {
+      const std::int64_t o = rb->full_osite(h);
+      EXPECT_EQ(rb->half_osite(o), h);
+      EXPECT_EQ(outer_site_parity(*grid_, o), rb->parity());
+      // Every lane of the outer site has the checkerboard's parity.
+      for (unsigned l = 0; l < rb->isites(); ++l)
+        EXPECT_EQ(coordinate_parity(rb->global_coor(h, l)), rb->parity());
+    }
+  }
+  // The two parities partition the outer sites.
+  for (std::int64_t o = 0; o < grid_->osites(); ++o) {
+    EXPECT_NE(even_->half_osite(o) >= 0, odd_->half_osite(o) >= 0);
+  }
+}
+
+TEST_F(RedBlackTest, CoordinateIndexingMatchesFullGrid) {
+  for (const auto* rb : {even_.get(), odd_.get()}) {
+    for (std::int64_t h = 0; h < rb->osites(); ++h) {
+      for (unsigned l = 0; l < rb->isites(); ++l) {
+        const Coordinate x = rb->global_coor(h, l);
+        EXPECT_EQ(rb->outer_index(x), h);
+        EXPECT_EQ(rb->inner_index(x), l);
+        EXPECT_EQ(rb->global_index(x), grid_->global_index(x));
+      }
+    }
+  }
+}
+
+TEST_F(RedBlackTest, PickSetRoundTripsBitwise) {
+  Fermion f(grid_.get()), rebuilt(grid_.get());
+  gaussian_fill(SiteRNG(11), f);
+  HalfFermion f_e(even_.get()), f_o(odd_.get());
+  pick_checkerboard(f, f_e);
+  pick_checkerboard(f, f_o);
+  set_checkerboard(rebuilt, f_e);
+  set_checkerboard(rebuilt, f_o);
+  EXPECT_EQ(norm2(rebuilt - f), 0.0);
+  // Norms split by parity (different reduction grouping: tolerance).
+  const double n = norm2(f);
+  EXPECT_NEAR(norm2(f_e) + norm2(f_o), n, 1e-12 * n);
+}
+
+TEST_F(RedBlackTest, HalfFieldFillMatchesFullFieldParity) {
+  // The RNG keys are full-lattice site indices, so filling a half field
+  // directly bitwise matches picking the parity out of a full-field fill.
+  Fermion f(grid_.get());
+  gaussian_fill(SiteRNG(21), f);
+  HalfFermion picked(even_.get()), direct(even_.get());
+  pick_checkerboard(f, picked);
+  gaussian_fill(SiteRNG(21), direct);
+  EXPECT_EQ(norm2(picked - direct), 0.0);
+}
+
+TEST_F(RedBlackTest, RedBlackStencilAgreesWithFullStencil) {
+  const Stencil full(grid_.get());
+  const StencilRedBlack st_eo(even_.get(), odd_.get());
+  const StencilRedBlack st_oe(odd_.get(), even_.get());
+  for (const auto* st : {&st_eo, &st_oe}) {
+    const GridRedBlackCartesian* tgt = st->target();
+    const GridRedBlackCartesian* src = st->source();
+    for (std::int64_t h = 0; h < tgt->osites(); ++h) {
+      const std::int64_t o = tgt->full_osite(h);
+      for (int dir = 0; dir < kStencilDirs; ++dir) {
+        const StencilEntry& e = st->entry(h, dir);
+        const StencilEntry& f = full.entry(o, dir);
+        ASSERT_GE(e.osite, 0) << "neighbour not on the opposite parity";
+        EXPECT_EQ(src->full_osite(e.osite), f.osite);
+        EXPECT_EQ(e.permute, f.permute);
+      }
+    }
+  }
+}
+
+TEST_F(RedBlackTest, HalfFieldAxpyNormMatchesPickedFull) {
+  // The solver kernels (axpy, axpy_norm2, innerProduct) on half fields
+  // must agree with the same arithmetic on the picked-out full data.
+  Fermion a(grid_.get()), b(grid_.get());
+  gaussian_fill(SiteRNG(31), a);
+  gaussian_fill(SiteRNG(32), b);
+  HalfFermion a_e(even_.get()), b_e(even_.get()), r_e(even_.get());
+  pick_checkerboard(a, a_e);
+  pick_checkerboard(b, b_e);
+  const double fused = axpy_norm2(r_e, 0.75, a_e, b_e);
+  HalfFermion r2(even_.get());
+  axpy(r2, 0.75, a_e, b_e);
+  EXPECT_EQ(norm2(r_e - r2), 0.0);
+  EXPECT_EQ(fused, norm2(r2));
+  const auto ip = innerProduct(a_e, b_e);
+  EXPECT_TRUE(std::isfinite(ip.real()) && std::isfinite(ip.imag()));
+}
+
+TEST_F(RedBlackTest, RejectsOddExtents) {
+  GridCartesian odd_extent({4, 4, 4, 7}, {1, 1, 1, 1});
+  EXPECT_DEATH(GridRedBlackCartesian rb(&odd_extent, kParityEven),
+               "even lattice extents");
+}
+
+}  // namespace
+}  // namespace svelat::lattice

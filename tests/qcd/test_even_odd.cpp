@@ -164,6 +164,117 @@ TEST_F(EvenOddTest, SchurSolveVerifiesAgainstM) {
   EXPECT_LT(norm2(mx - b) / norm2(b), 1e-18);
 }
 
+// ---------------------------------------------------------------------------
+// Half-checkerboard (production) path.
+// ---------------------------------------------------------------------------
+
+using HalfFermion = HalfLatticeFermion<S>;
+
+TEST_F(EvenOddTest, DhopEoOeMatchZeroPaddedBitwise) {
+  // The parity-restricted kernels share dhop_site with the full dhop, so
+  // on identical inputs every site result is bitwise equal to the
+  // zero-padded dhop_parity path.
+  const EvenOddWilson<S> eo_full(*gauge_, 0.0);
+  const WilsonDiracEO<S> eo(*gauge_, 0.0);
+  const Checkerboard& cb = eo_full.checkerboard();
+
+  Fermion f(grid_.get()), padded(grid_.get());
+  gaussian_fill(SiteRNG(12), f);
+
+  // dhop_eo: even output from odd input.
+  Fermion f_o = f;
+  cb.project_out(f_o, 0);  // odd support
+  eo_full.dhop_parity(f_o, padded, 0);
+  HalfFermion in_o(eo.odd_grid()), out_e(eo.even_grid());
+  lattice::pick_checkerboard(f, in_o);
+  eo.dhop_eo(in_o, out_e);
+  HalfFermion expect_e(eo.even_grid());
+  lattice::pick_checkerboard(padded, expect_e);
+  EXPECT_EQ(norm2(out_e - expect_e), 0.0);
+
+  // dhop_oe: odd output from even input.
+  Fermion f_e = f;
+  cb.project_out(f_e, 1);  // even support
+  eo_full.dhop_parity(f_e, padded, 1);
+  HalfFermion in_e(eo.even_grid()), out_o(eo.odd_grid());
+  lattice::pick_checkerboard(f, in_e);
+  eo.dhop_oe(in_e, out_o);
+  HalfFermion expect_o(eo.odd_grid());
+  lattice::pick_checkerboard(padded, expect_o);
+  EXPECT_EQ(norm2(out_o - expect_o), 0.0);
+}
+
+TEST_F(EvenOddTest, DhopEoOeMatchScalarReference) {
+  // Against the verification oracle: Dh applied to a single-parity source
+  // equals dhop_eo + dhop_oe of the corresponding half fields.
+  const WilsonDiracEO<S> eo(*gauge_, 0.0);
+  Fermion f(grid_.get()), ref(grid_.get());
+  gaussian_fill(SiteRNG(13), f);
+  dhop_reference(*gauge_, f, ref);
+
+  HalfFermion f_e(eo.even_grid()), f_o(eo.odd_grid());
+  lattice::pick_checkerboard(f, f_e);
+  lattice::pick_checkerboard(f, f_o);
+  HalfFermion dh_e(eo.even_grid()), dh_o(eo.odd_grid());
+  eo.dhop_eo(f_o, dh_e);  // even sites of Dh f read only odd sites
+  eo.dhop_oe(f_e, dh_o);
+  Fermion rebuilt(grid_.get());
+  lattice::set_checkerboard(rebuilt, dh_e);
+  lattice::set_checkerboard(rebuilt, dh_o);
+  EXPECT_LT(norm2(rebuilt - ref) / norm2(ref), 1e-24);
+}
+
+TEST_F(EvenOddTest, HalfMhatMatchesZeroPaddedMhat) {
+  const double mass = 0.3;
+  const EvenOddWilson<S> eo_full(*gauge_, mass);
+  const SchurEvenOddWilson<S> eo(*gauge_, mass);
+  Fermion a(grid_.get()), ma(grid_.get());
+  gaussian_fill(SiteRNG(14), a);
+  eo_full.checkerboard().project_out(a, 1);  // even support
+  eo_full.mhat(a, ma);
+
+  HalfFermion a_e(eo.even_grid()), ma_e(eo.even_grid()), expect(eo.even_grid());
+  lattice::pick_checkerboard(a, a_e);
+  eo.mhat(a_e, ma_e);
+  lattice::pick_checkerboard(ma, expect);
+  EXPECT_EQ(norm2(ma_e - expect), 0.0);
+}
+
+TEST_F(EvenOddTest, HalfSchurSolveMatchesFullLatticeCG) {
+  const double mass = 0.2, tol = 1e-9;
+  const SchurEvenOddWilson<S> eo(*gauge_, mass);
+  const WilsonDirac<S> dirac(*gauge_, mass);
+  Fermion b(grid_.get()), x_half(grid_.get()), x_full(grid_.get());
+  gaussian_fill(SiteRNG(7), b);
+  x_half.set_zero();
+  x_full.set_zero();
+
+  const auto s1 = solve_wilson_schur_half(eo, b, x_half, tol, 500);
+  const auto s2 = solver::solve_wilson(dirac, b, x_full, tol, 500);
+  ASSERT_TRUE(s1.converged);
+  ASSERT_TRUE(s2.converged);
+  EXPECT_LT(s1.true_residual, 1e-8);
+  // Both parities of the same nonsingular system's solution.
+  EXPECT_LT(norm2(x_half - x_full) / norm2(x_full), 1e-14);
+}
+
+TEST_F(EvenOddTest, HalfSchurSolveMatchesZeroPaddedSchur) {
+  const double mass = 0.2, tol = 1e-9;
+  const SchurEvenOddWilson<S> eo_half(*gauge_, mass);
+  const EvenOddWilson<S> eo_padded(*gauge_, mass);
+  Fermion b(grid_.get()), x_half(grid_.get()), x_padded(grid_.get());
+  gaussian_fill(SiteRNG(17), b);
+  x_half.set_zero();
+
+  const auto s1 = solve_wilson_schur_half(eo_half, b, x_half, tol, 500);
+  const auto s2 = solve_wilson_schur(eo_padded, b, x_padded, tol, 500);
+  ASSERT_TRUE(s1.converged);
+  ASSERT_TRUE(s2.converged);
+  // Same Schur algorithm; only the reduction grouping differs.
+  EXPECT_LT(norm2(x_half - x_padded) / norm2(x_padded), 1e-16);
+  EXPECT_LE(std::abs(s1.iterations - s2.iterations), 1);
+}
+
 TEST_F(EvenOddTest, RejectsParityNonUniformLayout) {
   // Odd block extent in a decomposed dimension breaks lane-uniform parity.
   using S2 = simd::SimdComplex<double, simd::kVLB256, simd::SveFcmla>;
