@@ -1,22 +1,30 @@
 // E2 -- CG time-to-solution (the paper's Sec. II-A motivation: iterative
-// solvers dominate LQCD runtime).  Solves M x = b on a random gauge
-// background for every vector length and backend; verifies the iteration
-// count is layout-independent and reports simulated Dslash throughput.
+// solvers dominate LQCD runtime).  Solves M x = b through the
+// WilsonSolver facade on a random gauge background for every vector
+// length and backend; verifies the iteration count is layout-independent
+// and reports simulated Dslash throughput.
 //
-// Second section: the even-odd Schur solve on zero-padded full-lattice
-// fields vs true half-checkerboard fields.  Both run the same algorithm;
-// the half path must execute <= 55% of the padded path's dynamic
-// instructions per CG iteration (sve::CounterScope) -- the acceptance
-// gate of the half-checkerboard refactor, enforced by the exit code.
+// Second section: the production half-checkerboard Schur path (facade
+// defaults) against the zero-padded even-odd formulation.  The padded
+// path is now a test-only oracle (tests/qcd/padded_oracle.h), so its
+// per-iteration instruction cost enters as the checked-in baseline
+// measurement (bench/baseline.json, PR 2) rather than a live run; the
+// counters are simulated and deterministic, so the comparison is exact as
+// long as the shared dhop kernels are unchanged.  The half path must stay
+// <= 55% of the padded baseline's dynamic instructions per CG iteration
+// -- the acceptance gate of the half-checkerboard refactor, enforced by
+// the exit code.  A second gate checks the Schur solution against the
+// unpreconditioned facade solve (drift here means a correctness bug, not
+// a perf one).
 //
 // `--json` prints a machine-readable summary (consumed by CI artifacts
-// and bench/baseline.json) instead of the human tables.
+// and bench/baseline.json) instead of the human tables; it includes the
+// SolverParams each section ran with.
 #include <cstdio>
 #include <cstring>
 #include <iterator>
 
 #include "core/svelat.h"
-#include "qcd/even_odd.h"
 
 namespace {
 
@@ -31,6 +39,21 @@ struct Row {
   double mflops;
 };
 
+/// Facade params of the full-lattice CG section (algorithm comparison
+/// baseline: unpreconditioned normal equations).
+solver::SolverParams full_cg_params() {
+  return solver::SolverParams{}
+      .with_preconditioner(solver::Preconditioner::kNone)
+      .with_tolerance(1e-8)
+      .with_max_iterations(1000);
+}
+
+/// Facade params of the Schur section: production defaults at the bench
+/// tolerance.
+solver::SolverParams schur_params() {
+  return solver::SolverParams{}.with_tolerance(1e-8).with_max_iterations(1000);
+}
+
 template <typename S>
 Row run(const char* backend) {
   sve::VLGuard vl(8 * S::vlb);
@@ -42,60 +65,86 @@ Row run(const char* backend) {
   gaussian_fill(SiteRNG(6), b);
   x.set_zero();
 
-  const qcd::WilsonDirac<S> dirac(gauge, 0.2);
+  solver::WilsonSolver<S> solver(gauge, 0.2, full_cg_params());
   StopWatch sw;
-  const auto stats = solver::solve_wilson(dirac, b, x, 1e-8, 1000);
+  const auto stats = solver.solve(b, x);
   const double secs = sw.seconds();
-  const double flops =
-      2.0 * qcd::kDhopFlopsPerSite * static_cast<double>(grid.gsites()) * stats.iterations;
+  const double flops = 2.0 * qcd::kDhopFlopsPerSite *
+                       static_cast<double>(grid.gsites()) * stats.iterations;
   return {static_cast<unsigned>(8 * S::vlb), backend, stats.iterations, secs,
           stats.true_residual, flops / 1e6 / secs};
 }
 
-struct SchurComparison {
+/// Per-iteration instruction cost of the zero-padded Schur CG, measured
+/// live in PR 2.  The padded implementation itself is a test-only oracle
+/// now; these constants are its frozen cost on this 4^3 x 8 / mass 0.2 /
+/// tol 1e-8 workload.  KEEP IN SYNC with bench/baseline.json
+/// (bench_cg.schur_half_vs_padded[].padded_insns_per_iter /
+/// padded_iterations) -- that file is regenerated *from* this binary's
+/// --json output, so these constants are the source of truth.  The
+/// per-iteration ratio is only a total-cost ratio while the live half
+/// path still needs the same 17 iterations; the iterations gate below
+/// enforces that premise.
+struct PaddedBaseline {
   unsigned vl;
-  int padded_iterations;
-  int half_iterations;
-  double padded_insns_per_iter;
-  double half_insns_per_iter;
-  double ratio;           ///< half / padded dynamic instructions per iteration
-  double solution_delta;  ///< |x_half - x_padded|^2 / |x_padded|^2
+  double insns_per_iter;
+  int iterations;
+};
+constexpr PaddedBaseline kPaddedBaseline[] = {
+    {128, 7236245.4, 17},
+    {512, 1878657.6, 17},
 };
 
-/// Zero-padded vs half-checkerboard Schur CG at one vector length.
+struct SchurComparison {
+  unsigned vl;
+  int padded_iterations;       ///< from the checked-in baseline
+  int half_iterations;
+  double padded_insns_per_iter;  ///< from the checked-in baseline
+  double half_insns_per_iter;
+  double ratio;           ///< half / padded dynamic instructions per iteration
+  double solution_delta;  ///< |x_schur - x_full|^2 / |x_full|^2
+};
+
+/// Half-checkerboard Schur CG through the facade vs the padded baseline,
+/// at one vector length.
 template <typename S>
-SchurComparison run_schur_comparison() {
+SchurComparison run_schur_comparison(const PaddedBaseline& baseline) {
   sve::VLGuard vl(8 * S::vlb);
   lattice::GridCartesian grid({4, 4, 4, 8},
                               lattice::GridCartesian::default_simd_layout(S::Nsimd()));
   qcd::GaugeField<S> gauge(&grid);
   qcd::random_gauge(SiteRNG(2018), gauge);
-  qcd::LatticeFermion<S> b(&grid), x_padded(&grid), x_half(&grid);
+  qcd::LatticeFermion<S> b(&grid), x_full(&grid), x_half(&grid);
   gaussian_fill(SiteRNG(6), b);
+  x_full.set_zero();
   x_half.set_zero();
 
   SchurComparison c{};
   c.vl = static_cast<unsigned>(8 * S::vlb);
-  const double tol = 1e-8;
+  c.padded_insns_per_iter = baseline.insns_per_iter;
+  c.padded_iterations = baseline.iterations;
   {
-    const qcd::EvenOddWilson<S> eo(gauge, 0.2);
+    solver::WilsonSolver<S> schur(gauge, 0.2, schur_params());
     sve::CounterScope scope;
-    const auto stats = qcd::solve_wilson_schur(eo, b, x_padded, tol, 1000);
-    c.padded_iterations = stats.iterations;
-    c.padded_insns_per_iter =
-        static_cast<double>(scope.delta().total()) / stats.iterations;
-  }
-  {
-    const qcd::SchurEvenOddWilson<S> eo(gauge, 0.2);
-    sve::CounterScope scope;
-    const auto stats = qcd::solve_wilson_schur_half(eo, b, x_half, tol, 1000);
+    const auto stats = schur.solve(b, x_half);
     c.half_iterations = stats.iterations;
     c.half_insns_per_iter =
         static_cast<double>(scope.delta().total()) / stats.iterations;
   }
+  {
+    solver::WilsonSolver<S> full(gauge, 0.2, full_cg_params());
+    (void)full.solve(b, x_full);
+  }
   c.ratio = c.half_insns_per_iter / c.padded_insns_per_iter;
-  c.solution_delta = norm2(x_half - x_padded) / norm2(x_padded);
+  c.solution_delta = norm2(x_half - x_full) / norm2(x_full);
   return c;
+}
+
+void print_params_json(const solver::SolverParams& p) {
+  std::printf("{\"algorithm\": \"%s\", \"preconditioner\": \"%s\", "
+              "\"tolerance\": %g, \"max_iterations\": %d}",
+              solver::to_string(p.algorithm), solver::to_string(p.preconditioner),
+              p.tolerance, p.max_iterations);
 }
 
 }  // namespace
@@ -117,24 +166,33 @@ int main(int argc, char** argv) {
       run<simd::SimdComplex<double, simd::kVLB512, simd::SveReal>>("sve-real"),
   };
   const SchurComparison schur[] = {
-      run_schur_comparison<simd::SimdComplex<double, simd::kVLB128, simd::SveFcmla>>(),
-      run_schur_comparison<simd::SimdComplex<double, simd::kVLB512, simd::SveFcmla>>(),
+      run_schur_comparison<simd::SimdComplex<double, simd::kVLB128, simd::SveFcmla>>(
+          kPaddedBaseline[0]),
+      run_schur_comparison<simd::SimdComplex<double, simd::kVLB512, simd::SveFcmla>>(
+          kPaddedBaseline[1]),
   };
   bool same_iters = true;
   for (const auto& r : rows)
     same_iters = same_iters && (r.iterations == rows[0].iterations);
-  // Two independent gates: the instruction-ratio target of the
-  // half-checkerboard refactor, and agreement of the two solvers'
-  // solutions (drift here means a correctness bug, not a perf one).
-  bool ratio_gate = true, solutions_agree = true;
+  // Three independent gates: the instruction-ratio target of the
+  // half-checkerboard refactor; the live half-path iteration count still
+  // matching the frozen padded baseline's (otherwise a per-iteration
+  // ratio no longer measures total solve cost); and agreement of the
+  // preconditioned and unpreconditioned solutions.  Both solves run at
+  // tol 1e-8, so the squared relative solution difference sits well
+  // below 1e-12.
+  bool ratio_gate = true, iters_match = true, solutions_agree = true;
   for (const auto& c : schur) {
     ratio_gate = ratio_gate && c.ratio <= 0.55;
-    solutions_agree = solutions_agree && c.solution_delta < 1e-16;
+    iters_match = iters_match && c.half_iterations == c.padded_iterations;
+    solutions_agree = solutions_agree && c.solution_delta < 1e-12;
   }
 
   if (json) {
     std::printf("{\n  \"benchmark\": \"bench_cg\",\n  \"lattice\": [4, 4, 4, 8],\n");
-    std::printf("  \"full_cg\": [\n");
+    std::printf("  \"full_cg_params\": ");
+    print_params_json(full_cg_params());
+    std::printf(",\n  \"full_cg\": [\n");
     for (std::size_t i = 0; i < std::size(rows); ++i) {
       const auto& r = rows[i];
       std::printf("    {\"vl\": %u, \"backend\": \"%s\", \"iterations\": %d, "
@@ -142,7 +200,9 @@ int main(int argc, char** argv) {
                   r.vl, r.backend, r.iterations, r.true_residual,
                   i + 1 < std::size(rows) ? "," : "");
     }
-    std::printf("  ],\n  \"schur_half_vs_padded\": [\n");
+    std::printf("  ],\n  \"schur_params\": ");
+    print_params_json(schur_params());
+    std::printf(",\n  \"schur_half_vs_padded\": [\n");
     for (std::size_t i = 0; i < std::size(schur); ++i) {
       const auto& c = schur[i];
       std::printf("    {\"vl\": %u, \"padded_insns_per_iter\": %.1f, "
@@ -155,10 +215,11 @@ int main(int argc, char** argv) {
     }
     std::printf("  ],\n  \"iterations_layout_independent\": %s,\n"
                 "  \"schur_half_gate_055\": %s,\n"
+                "  \"schur_iterations_match_baseline\": %s,\n"
                 "  \"schur_solutions_agree\": %s\n}\n",
                 same_iters ? "true" : "false", ratio_gate ? "true" : "false",
-                solutions_agree ? "true" : "false");
-    return (same_iters && ratio_gate && solutions_agree) ? 0 : 1;
+                iters_match ? "true" : "false", solutions_agree ? "true" : "false");
+    return (same_iters && ratio_gate && iters_match && solutions_agree) ? 0 : 1;
   }
 
   std::printf("=== E2: CG on the Wilson operator, 4^3 x 8, mass 0.2, tol 1e-8 ===\n\n");
@@ -170,7 +231,7 @@ int main(int argc, char** argv) {
   }
   std::printf("\niteration count layout-independent: %s\n", same_iters ? "yes" : "NO");
 
-  std::printf("\n=== Schur CG: zero-padded full fields vs half-checkerboard ===\n\n");
+  std::printf("\n=== Schur CG (WilsonSolver defaults) vs zero-padded baseline ===\n\n");
   std::printf("  %-6s %16s %16s %8s %9s %12s\n", "VL", "padded insn/it",
               "half insn/it", "ratio", "iters", "soln delta");
   for (const auto& c : schur) {
@@ -180,8 +241,10 @@ int main(int argc, char** argv) {
   }
   std::printf("\nhalf-checkerboard <= 55%% of padded instructions/iteration: %s\n",
               ratio_gate ? "yes" : "NO");
-  std::printf("half and padded Schur solutions agree (< 1e-16): %s\n",
+  std::printf("half-path iteration count matches padded baseline: %s\n",
+              iters_match ? "yes" : "NO");
+  std::printf("Schur and unpreconditioned solutions agree (< 1e-12): %s\n",
               solutions_agree ? "yes" : "NO");
 
-  return (same_iters && ratio_gate && solutions_agree) ? 0 : 1;
+  return (same_iters && ratio_gate && iters_match && solutions_agree) ? 0 : 1;
 }

@@ -22,8 +22,8 @@ int main() {
   std::printf("face exchange of a %s fermion field (face = %d sites x %d complex)\n\n",
               lattice::to_string(grid.fdimensions()).c_str(), 8 * 8 * 8,
               qcd::Ns * qcd::Nc);
-  std::printf("  %-6s %12s %10s %14s %14s\n", "mode", "wire bytes", "ratio", "max rel err",
-              "rms rel err");
+  std::printf("  %-6s %12s %10s %14s %14s\n", "mode", "wire bytes", "ratio",
+              "max rel err", "rms rel err");
 
   comms::SimCommunicator comm(2);
   const auto packed = comms::pack_face(psi, 3, 0);
@@ -42,8 +42,8 @@ int main() {
       sum_sq += rel * rel;
       ++counted;
     }
-    std::printf("  %-6s %12zu %9.2fx %14.3e %14.3e\n", comms::compression_name(mode), wire,
-                full_bytes / static_cast<double>(wire), max_rel,
+    std::printf("  %-6s %12zu %9.2fx %14.3e %14.3e\n", comms::compression_name(mode),
+                wire, full_bytes / static_cast<double>(wire), max_rel,
                 std::sqrt(sum_sq / static_cast<double>(counted)));
   }
 

@@ -6,6 +6,12 @@
 // correlator must be exactly symmetric around T/2 and the effective mass
 // plateaus at the free Wilson pion mass.
 //
+// One WilsonSolver is constructed up front and reused for all 12
+// spin-colour columns: the Schur operator and half-field workspaces are
+// paid once, the columns only pay iterations.  A column that fails to
+// converge is reported per column and the program exits cleanly (no
+// assert).
+//
 // Usage: ./examples/pion_correlator [mass=0.3] [free|random]
 #include <cmath>
 #include <cstdio>
@@ -33,12 +39,24 @@ int main(int argc, char** argv) {
     std::printf("random gauge (strong coupling), quark mass %.3f\n", mass);
   }
 
-  const qcd::EvenOddWilson<S> eo(gauge, mass);
+  // Production defaults (Schur-preconditioned CG on half fields); only the
+  // tolerance and iteration cap are spelled out.
+  solver::WilsonSolver<S> solver(
+      gauge, mass,
+      solver::SolverParams{}.with_tolerance(1e-9).with_max_iterations(1000));
   qcd::Propagator<S> prop(&grid);
   StopWatch sw;
-  const double worst = qcd::compute_propagator(eo, {0, 0, 0, 0}, prop, 1e-9, 1000);
-  std::printf("12 propagator solves in %.1f s (worst true residual %.2e)\n\n",
-              sw.seconds(), worst);
+  const auto report = qcd::compute_propagator(solver, {0, 0, 0, 0}, prop);
+  if (!report.all_converged()) {
+    std::printf("propagator solve FAILED to converge:\n");
+    for (std::size_t c = 0; c < report.columns.size(); ++c)
+      std::printf("  column %2zu (spin %zu, colour %zu): %s\n", c, c / qcd::Nc,
+                  c % qcd::Nc, report.columns[c].summary().c_str());
+    return 1;
+  }
+  std::printf(
+      "12 propagator solves in %.1f s (%d iterations, worst true residual %.2e)\n\n",
+      sw.seconds(), report.total_iterations(), report.worst_true_residual());
 
   const auto corr = qcd::pion_correlator(prop);
   const auto meff = qcd::effective_mass(corr);

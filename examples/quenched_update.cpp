@@ -41,7 +41,8 @@ int main(int argc, char** argv) {
 
   std::printf("observables on the final configuration:\n");
   std::printf("  W(1,1) = %+.5f   W(1,2) = %+.5f   W(2,2) = %+.5f\n",
-              qcd::average_wilson_loop(gauge, 1, 1), qcd::average_wilson_loop(gauge, 1, 2),
+              qcd::average_wilson_loop(gauge, 1, 1),
+              qcd::average_wilson_loop(gauge, 1, 2),
               qcd::average_wilson_loop(gauge, 2, 2));
   const auto poly = qcd::polyakov_loop(gauge);
   std::printf("  Polyakov loop = %+.5f %+.5fi\n", poly.real(), poly.imag());

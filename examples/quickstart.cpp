@@ -3,7 +3,8 @@
 //   1. pick a simulated SVE vector length,
 //   2. build a lattice with the matching virtual-node layout (Fig. 1),
 //   3. fill fields, apply the Wilson hopping term (Eq. 1),
-//   4. solve M x = b with CG,
+//   4. solve M x = b with a WilsonSolver (production defaults:
+//      Schur-preconditioned CG on half-checkerboard fields),
 //   5. look at the dynamic SVE instruction mix that did the work.
 //
 // Build & run:  ./examples/quickstart
@@ -49,16 +50,19 @@ int main() {
   StopWatch sw;
   dirac.dhop(b, dhop_b);
   const double dhop_ms = sw.milliseconds();
-  std::printf("\nDhop (Eq. 1): %.1f ms, %.0f simulated SVE instructions per lattice site\n",
-              dhop_ms, static_cast<double>(dhop_insns.delta().total()) / grid.gsites());
+  std::printf(
+      "\nDhop (Eq. 1): %.1f ms, %.0f simulated SVE instructions per lattice site\n",
+      dhop_ms, static_cast<double>(dhop_insns.delta().total()) / grid.gsites());
 
-  // 4. Solve M x = b through the normal equations.
+  // 4. Solve M x = b through the solver facade.  Default SolverParams are
+  // the production path: CG on the even-odd Schur complement, true
+  // half-checkerboard fields (half the memory traffic per iteration).
+  solver::WilsonSolver<S> solver(gauge, /*mass=*/0.2,
+                                 solver::SolverParams{}.with_tolerance(1e-8));
   x.set_zero();
   sw.reset();
-  const auto stats = solver::solve_wilson(dirac, b, x, 1e-8, 1000);
-  std::printf("CG: %s in %d iterations (%.1f s), true residual %.2e\n",
-              stats.converged ? "converged" : "NOT converged", stats.iterations,
-              sw.seconds(), stats.true_residual);
+  const auto stats = solver.solve(b, x);
+  std::printf("%s (%.1f s)\n", stats.summary().c_str(), sw.seconds());
 
   // 5. Instruction mix of the whole run so far.
   std::printf("\nsimulated instruction mix of this process:\n%s",

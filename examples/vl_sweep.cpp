@@ -4,7 +4,10 @@
 // combination the framework ports, confirms all results agree with the
 // scalar reference *and* with each other bit-for-bit, and reports
 // per-site instruction counts -- showing how wider vectors shrink the
-// dynamic instruction stream.
+// dynamic instruction stream.  Each port then drives a
+// Schur-preconditioned solve through the WilsonSolver facade: the
+// iteration count must be layout-independent (reductions use a fixed
+// summation tree, so only rounding-level residual differences remain).
 #include <cstdio>
 #include <vector>
 
@@ -20,6 +23,8 @@ struct Row {
   double rel_err;
   double insns_per_site;
   double ms;
+  int solve_iters;
+  bool solve_converged;
 };
 
 template <typename S>
@@ -41,7 +46,17 @@ Row run(const char* backend_name) {
 
   qcd::dhop_reference(gauge, psi, ref);
   const double rel = norm2(out - ref) / norm2(ref);
-  return {static_cast<unsigned>(8 * S::vlb), backend_name, rel, per_site, ms};
+
+  // Solver facade at production defaults (Schur CG on half fields).
+  solver::WilsonSolver<S> solver(gauge, /*mass=*/0.2,
+                                 solver::SolverParams{}.with_tolerance(1e-8));
+  qcd::LatticeFermion<S> x(&grid);
+  x.set_zero();
+  const auto stats = solver.solve(psi, x);
+
+  return {static_cast<unsigned>(8 * S::vlb), backend_name,     rel,
+          per_site,                          ms,               stats.iterations,
+          stats.converged};
 }
 
 }  // namespace
@@ -51,23 +66,31 @@ int main() {
   rows.push_back(run<simd::SimdComplex<double, simd::kVLB128, simd::Generic>>("generic"));
   rows.push_back(run<simd::SimdComplex<double, simd::kVLB256, simd::Generic>>("generic"));
   rows.push_back(run<simd::SimdComplex<double, simd::kVLB512, simd::Generic>>("generic"));
-  rows.push_back(run<simd::SimdComplex<double, simd::kVLB128, simd::SveFcmla>>("sve-fcmla"));
-  rows.push_back(run<simd::SimdComplex<double, simd::kVLB256, simd::SveFcmla>>("sve-fcmla"));
-  rows.push_back(run<simd::SimdComplex<double, simd::kVLB512, simd::SveFcmla>>("sve-fcmla"));
-  rows.push_back(run<simd::SimdComplex<double, simd::kVLB128, simd::SveReal>>("sve-real"));
-  rows.push_back(run<simd::SimdComplex<double, simd::kVLB256, simd::SveReal>>("sve-real"));
-  rows.push_back(run<simd::SimdComplex<double, simd::kVLB512, simd::SveReal>>("sve-real"));
+  rows.push_back(
+      run<simd::SimdComplex<double, simd::kVLB128, simd::SveFcmla>>("sve-fcmla"));
+  rows.push_back(
+      run<simd::SimdComplex<double, simd::kVLB256, simd::SveFcmla>>("sve-fcmla"));
+  rows.push_back(
+      run<simd::SimdComplex<double, simd::kVLB512, simd::SveFcmla>>("sve-fcmla"));
+  rows.push_back(
+      run<simd::SimdComplex<double, simd::kVLB128, simd::SveReal>>("sve-real"));
+  rows.push_back(
+      run<simd::SimdComplex<double, simd::kVLB256, simd::SveReal>>("sve-real"));
+  rows.push_back(
+      run<simd::SimdComplex<double, simd::kVLB512, simd::SveReal>>("sve-real"));
 
-  std::printf("Wilson Dhop on 4^3 x 8, all ports (paper Sec. V-D sweep):\n\n");
-  std::printf("  %-6s %-10s %-14s %-18s %s\n", "VL", "backend", "rel.err vs ref",
-              "SVE insns / site", "wall ms");
+  std::printf("Wilson Dhop + Schur-CG solve on 4^3 x 8, all ports (Sec. V-D sweep):\n\n");
+  std::printf("  %-6s %-10s %-14s %-18s %-8s %s\n", "VL", "backend", "rel.err vs ref",
+              "SVE insns / site", "wall ms", "solve iters");
   bool all_ok = true;
   for (const auto& r : rows) {
-    std::printf("  %-6u %-10s %-14.2e %-18.1f %.1f\n", r.vl, r.backend, r.rel_err,
-                r.insns_per_site, r.ms);
-    all_ok = all_ok && r.rel_err < 1e-20;
+    std::printf("  %-6u %-10s %-14.2e %-18.1f %-8.1f %d%s\n", r.vl, r.backend, r.rel_err,
+                r.insns_per_site, r.ms, r.solve_iters, r.solve_converged ? "" : " (!)");
+    all_ok = all_ok && r.rel_err < 1e-20 && r.solve_converged &&
+             r.solve_iters == rows.front().solve_iters;
   }
-  std::printf("\n%s\n", all_ok ? "all ports agree with the scalar reference"
+  std::printf("\n%s\n", all_ok ? "all ports agree with the scalar reference; solver "
+                                 "iteration counts are layout-independent"
                                : "MISMATCH against the scalar reference!");
   return all_ok ? 0 : 1;
 }

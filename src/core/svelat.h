@@ -11,7 +11,7 @@
 //   lattice/   cartesian grids, virtual-node layout, cshift
 //   comms/     simulated communicator, fp16 halo compression
 //   qcd/       gamma algebra, SU(3), Wilson Dirac operator
-//   solver/    Conjugate Gradient
+//   solver/    WilsonSolver facade: CG / BiCGSTAB / mixed precision
 //   core/      port registry (Table I), verification harness (Sec. V-D)
 #pragma once
 
@@ -23,7 +23,7 @@
 #include "lattice/lattice_all.h"  // IWYU pragma: export
 #include "qcd/qcd.h"              // IWYU pragma: export
 #include "simd/simd.h"            // IWYU pragma: export
-#include "solver/cg.h"            // IWYU pragma: export
+#include "solver/solver.h"        // IWYU pragma: export
 #include "support/random.h"       // IWYU pragma: export
 #include "support/timer.h"        // IWYU pragma: export
 #include "sve/sve.h"              // IWYU pragma: export

@@ -14,25 +14,20 @@
 // production solver structure in Grid and every other LQCD code (the
 // "iterative solvers" of paper Sec. II-A are e/o-preconditioned CG).
 //
-// Two implementations of the Schur solve live here:
-//
-//  * EvenOddWilson / solve_wilson_schur -- the original reference path:
-//    fields stay full-lattice-sized and the inactive parity is kept at
-//    zero.  Costs 2x memory and ~2x flops/bandwidth on solver temporaries
-//    (every dhop/axpy/norm sweeps dead sites), but leaves every
-//    layout/permute code path identical to the unpreconditioned operator.
-//
-//  * SchurEvenOddWilson / solve_wilson_schur_half -- the production path:
-//    true half-checkerboard fields (lattice/red_black.h) with the
-//    parity-restricted kernels dhop_eo/dhop_oe (qcd/wilson.h).  Half the
-//    memory footprint and half the per-iteration traffic/instructions;
-//    bitwise the same per-site arithmetic, so the two paths agree exactly
-//    (see test_even_odd HalfKernelMatchesZeroPadded*).
+// The production implementation lives here: SchurEvenOddWilson on true
+// half-checkerboard fields (lattice/red_black.h) with the
+// parity-restricted kernels dhop_eo/dhop_oe (qcd/wilson.h) -- half the
+// memory footprint and half the per-iteration traffic/instructions of a
+// zero-padded formulation.  Physics code drives it through the
+// solver::WilsonSolver facade (solver/solver.h); the historical
+// zero-padded EvenOddWilson path survives only as a test oracle
+// (tests/qcd/padded_oracle.h), against which the half kernels are bitwise
+// checked site by site (test_even_odd HalfKernelMatchesZeroPadded*).
 #pragma once
 
 #include "qcd/gamma.h"
 #include "qcd/wilson.h"
-#include "solver/cg.h"
+#include "solver/result.h"
 
 namespace svelat::qcd {
 
@@ -67,121 +62,11 @@ class Checkerboard {
   std::vector<std::uint8_t> parity_;
 };
 
-/// Even-odd decomposed Wilson operator and its Schur complement.
-template <class S>
-class EvenOddWilson {
- public:
-  using Fermion = LatticeFermion<S>;
-  static constexpr int kEven = 0;
-  static constexpr int kOdd = 1;
-
-  EvenOddWilson(const GaugeField<S>& gauge, double mass)
-      : dirac_(gauge, mass), cb_(gauge.grid()), mass_(mass) {}
-
-  const WilsonDirac<S>& full_operator() const { return dirac_; }
-  const Checkerboard& checkerboard() const { return cb_; }
-  double diag() const { return 4.0 + mass_; }
-
-  /// Hopping term restricted to target parity: out_p = Dh in (sites of
-  /// parity p written; the opposite parity of out is zeroed).
-  void dhop_parity(const Fermion& in, Fermion& out, int parity) const {
-    dirac_.dhop(in, out);
-    cb_.project_out(out, 1 - parity);
-  }
-
-  /// Schur operator on the even sublattice:
-  ///   Mhat x_e = (4+m) x_e - Dh_eo Dh_oe x_e / (4 (4+m)).
-  void mhat(const Fermion& in, Fermion& out) const {
-    Fermion tmp(cb_.grid());
-    dhop_parity(in, tmp, kOdd);   // tmp_o = Dh_oe in_e
-    dhop_parity(tmp, out, kEven);  // out_e = Dh_eo tmp_o
-    const double d = diag();
-    const S a(typename S::scalar_type(d, 0.0));
-    const S b(typename S::scalar_type(-0.25 / d, 0.0));
-    thread_for(cb_.grid()->osites(),
-               [&](std::int64_t o) { out[o] = a * in[o] + b * out[o]; });
-    cb_.project_out(out, kOdd);
-  }
-
-  /// Mhat^dag via gamma5-hermiticity (gamma5 commutes with parity).
-  void mhat_dag(const Fermion& in, Fermion& out) const {
-    Fermion tmp(cb_.grid());
-    WilsonDirac<S>::apply_gamma5(in, tmp);
-    mhat(tmp, out);
-    WilsonDirac<S>::apply_gamma5(out, out);
-  }
-
-  void mhat_dag_mhat(const Fermion& in, Fermion& out) const {
-    Fermion tmp(cb_.grid());
-    mhat(in, tmp);
-    mhat_dag(tmp, out);
-  }
-
- private:
-  WilsonDirac<S> dirac_;
-  Checkerboard cb_;
-  double mass_;
-};
-
-/// Schur-preconditioned solve of M x = b:
-///   1.  b'_e = b_e - Meo Moo^{-1} b_o
-///   2.  solve Mhat x_e = b'_e   (CG on Mhat^dag Mhat)
-///   3.  x_o = Moo^{-1} (b_o - Moe x_e)
-template <class S>
-solver::SolverStats solve_wilson_schur(const EvenOddWilson<S>& eo,
-                                       const LatticeFermion<S>& b, LatticeFermion<S>& x,
-                                       double tolerance, int max_iterations) {
-  using Fermion = LatticeFermion<S>;
-  const Checkerboard& cb = eo.checkerboard();
-  const lattice::GridCartesian* grid = cb.grid();
-  const double d = eo.diag();
-
-  // Split b by parity.
-  Fermion b_e = b, b_o = b;
-  cb.project_out(b_e, EvenOddWilson<S>::kOdd);
-  cb.project_out(b_o, EvenOddWilson<S>::kEven);
-
-  // 1. b'_e = b_e + (1/(2(4+m))) Dh_eo b_o     (Meo = -Dh_eo/2)
-  Fermion tmp(grid), b_prime(grid);
-  eo.dhop_parity(b_o, tmp, EvenOddWilson<S>::kEven);
-  axpy(b_prime, 0.5 / d, tmp, b_e);
-  cb.project_out(b_prime, EvenOddWilson<S>::kOdd);
-
-  // 2. Normal-equation CG on the even sublattice.
-  Fermion rhs(grid);
-  eo.mhat_dag(b_prime, rhs);
-  Fermion x_e(grid);
-  x_e.set_zero();
-  auto op = [&eo](const Fermion& in, Fermion& out) { eo.mhat_dag_mhat(in, out); };
-  solver::SolverStats stats =
-      solver::conjugate_gradient(op, rhs, x_e, tolerance, max_iterations);
-
-  // 3. x_o = (b_o + (1/2) Dh_oe x_e) / (4+m).
-  eo.dhop_parity(x_e, tmp, EvenOddWilson<S>::kOdd);
-  Fermion x_o(grid);
-  axpy(x_o, 0.5, tmp, b_o);
-  x_o = (1.0 / d) * x_o;
-  cb.project_out(x_o, EvenOddWilson<S>::kEven);
-
-  x = x_e + x_o;
-
-  // True residual of the *full* system.
-  Fermion mx(grid), r(grid);
-  eo.full_operator().m(x, mx);
-  r = b - mx;
-  stats.true_residual = std::sqrt(norm2(r) / norm2(b));
-  return stats;
-}
-
-// ---------------------------------------------------------------------------
-// Production path: Schur complement on true half-checkerboard fields.
-// ---------------------------------------------------------------------------
-
 /// Schur operator Mhat on the even half lattice, built on the
 /// parity-restricted kernels.  All operands are half-volume fields: one
 /// mhat application does the dhop work of exactly one full-lattice dhop
 /// (two half-volume hops) instead of the two full-volume dhops (half of
-/// them dead sites) the zero-padded path executes.
+/// them dead sites) the zero-padded oracle executes.
 template <class S>
 class SchurEvenOddWilson {
  public:
@@ -235,86 +120,89 @@ class SchurEvenOddWilson {
   mutable HalfFermion tmp_mhat_;
 };
 
+/// Half-field scratch buffers of one Schur-preconditioned solve.
+/// Constructed once per SchurEvenOddWilson lifetime (e.g. owned by a
+/// solver::WilsonSolver) so repeated solves -- the 12 spin-colour columns
+/// of a propagator -- reuse the allocations instead of paying nine
+/// half-field constructions per right-hand side.
+template <class S>
+struct SchurWorkspace {
+  using HalfFermion = HalfLatticeFermion<S>;
+
+  explicit SchurWorkspace(const SchurEvenOddWilson<S>& eo)
+      : b_e(eo.even_grid()),
+        b_o(eo.odd_grid()),
+        b_prime(eo.even_grid()),
+        rhs(eo.even_grid()),
+        x_e(eo.even_grid()),
+        x_o(eo.odd_grid()),
+        tmp_e(eo.even_grid()),
+        tmp_o(eo.odd_grid()),
+        r_e(eo.even_grid()),
+        r_o(eo.odd_grid()) {}
+
+  HalfFermion b_e, b_o;    ///< parity split of the right-hand side
+  HalfFermion b_prime;     ///< even-parity Schur right-hand side
+  HalfFermion rhs;         ///< Mhat^dag b' (normal-equation CG target)
+  HalfFermion x_e, x_o;    ///< parity pieces of the solution
+  HalfFermion tmp_e, tmp_o;
+  HalfFermion r_e, r_o;    ///< true-residual pieces
+};
+
 namespace detail {
 
 /// Shared prologue/epilogue of the half-field Schur solves.  Splits b,
 /// forms the even-parity right-hand side b'_e, runs `solve_even` on it,
 /// reconstructs the odd solution and the full-system true residual --
 /// everything on half-volume fields (the full operator is never applied).
+/// `ws` supplies every half-field temporary, so repeated solves through
+/// one workspace allocate nothing.
 template <class S, class SolveEven>
-solver::SolverStats schur_half_solve(const SchurEvenOddWilson<S>& eo,
-                                     const LatticeFermion<S>& b, LatticeFermion<S>& x,
-                                     const SolveEven& solve_even) {
-  using HalfFermion = HalfLatticeFermion<S>;
+solver::SolverResult schur_half_solve(const SchurEvenOddWilson<S>& eo,
+                                      SchurWorkspace<S>& ws, const LatticeFermion<S>& b,
+                                      LatticeFermion<S>& x, const SolveEven& solve_even) {
   const lattice::GridRedBlackCartesian* ge = eo.even_grid();
   const lattice::GridRedBlackCartesian* go = eo.odd_grid();
   const WilsonDiracEO<S>& dh = eo.kernels();
   const double d = eo.diag();
 
-  HalfFermion b_e(ge), b_o(go);
-  lattice::pick_checkerboard(b, b_e);
-  lattice::pick_checkerboard(b, b_o);
+  lattice::pick_checkerboard(b, ws.b_e);
+  lattice::pick_checkerboard(b, ws.b_o);
 
   // 1. b'_e = b_e + (1/(2(4+m))) Dh_eo b_o     (Meo = -Dh_eo/2)
-  HalfFermion tmp_e(ge), b_prime(ge);
-  dh.dhop_eo(b_o, tmp_e);
-  axpy(b_prime, 0.5 / d, tmp_e, b_e);
+  dh.dhop_eo(ws.b_o, ws.tmp_e);
+  axpy(ws.b_prime, 0.5 / d, ws.tmp_e, ws.b_e);
 
   // 2. Solve Mhat x_e = b'_e on the even half lattice.
-  HalfFermion x_e(ge);
-  x_e.set_zero();
-  solver::SolverStats stats = solve_even(b_prime, x_e);
+  ws.x_e.set_zero();
+  solver::SolverResult stats = solve_even(ws.b_prime, ws.x_e);
 
   // 3. x_o = (b_o + (1/2) Dh_oe x_e) / (4+m).
-  HalfFermion tmp_o(go), x_o(go);
-  dh.dhop_oe(x_e, tmp_o);
-  axpy(x_o, 0.5, tmp_o, b_o);
-  x_o = (1.0 / d) * x_o;
+  dh.dhop_oe(ws.x_e, ws.tmp_o);
+  axpy(ws.x_o, 0.5, ws.tmp_o, ws.b_o);
+  ws.x_o = (1.0 / d) * ws.x_o;
 
-  lattice::set_checkerboard(x, x_e);
-  lattice::set_checkerboard(x, x_o);
+  lattice::set_checkerboard(x, ws.x_e);
+  lattice::set_checkerboard(x, ws.x_o);
 
   // True residual of the full system, from half-volume pieces only:
   // (M x)_p = (4+m) x_p - (1/2) Dh_{p,1-p} x_{1-p}.
-  dh.dhop_eo(x_o, tmp_e);
-  HalfFermion r_e(ge), r_o(go);
+  dh.dhop_eo(ws.x_o, ws.tmp_e);
   const S md(typename S::scalar_type(-d, 0.0));
   const S half_c(typename S::scalar_type(0.5, 0.0));
   thread_for(ge->osites(), [&](std::int64_t h) {
-    r_e[h] = b_e[h] + md * x_e[h] + half_c * tmp_e[h];
+    ws.r_e[h] = ws.b_e[h] + md * ws.x_e[h] + half_c * ws.tmp_e[h];
   });
-  dh.dhop_oe(x_e, tmp_o);
+  dh.dhop_oe(ws.x_e, ws.tmp_o);
   thread_for(go->osites(), [&](std::int64_t h) {
-    r_o[h] = b_o[h] + md * x_o[h] + half_c * tmp_o[h];
+    ws.r_o[h] = ws.b_o[h] + md * ws.x_o[h] + half_c * ws.tmp_o[h];
   });
-  stats.true_residual =
-      std::sqrt((norm2(r_e) + norm2(r_o)) / (norm2(b_e) + norm2(b_o)));
+  const double b2 = norm2(ws.b_e) + norm2(ws.b_o);
+  stats.true_residual = std::sqrt((norm2(ws.r_e) + norm2(ws.r_o)) / b2);
+  stats.rhs_norm = std::sqrt(b2);
   return stats;
 }
 
 }  // namespace detail
-
-/// Schur-preconditioned solve of M x = b on half-checkerboard fields:
-///   1.  b'_e = b_e - Meo Moo^{-1} b_o
-///   2.  solve Mhat x_e = b'_e   (CG on Mhat^dag Mhat, half-volume)
-///   3.  x_o = Moo^{-1} (b_o - Moe x_e)
-/// Same algorithm as solve_wilson_schur, at half the memory and half the
-/// per-iteration instruction count.
-template <class S>
-solver::SolverStats solve_wilson_schur_half(const SchurEvenOddWilson<S>& eo,
-                                            const LatticeFermion<S>& b,
-                                            LatticeFermion<S>& x, double tolerance,
-                                            int max_iterations) {
-  using HalfFermion = HalfLatticeFermion<S>;
-  return detail::schur_half_solve(
-      eo, b, x, [&](const HalfFermion& rhs_prime, HalfFermion& x_e) {
-        HalfFermion rhs(eo.even_grid());
-        eo.mhat_dag(rhs_prime, rhs);
-        const auto op = [&eo](const HalfFermion& in, HalfFermion& out) {
-          eo.mhat_dag_mhat(in, out);
-        };
-        return solver::conjugate_gradient(op, rhs, x_e, tolerance, max_iterations);
-      });
-}
 
 }  // namespace svelat::qcd

@@ -8,11 +8,11 @@
 // time-slice, and decays as cosh(m_pi (t - T/2)) on a periodic lattice.
 #pragma once
 
+#include <algorithm>
 #include <vector>
 
-#include "qcd/even_odd.h"
 #include "qcd/wilson.h"
-#include "solver/cg.h"
+#include "solver/solver.h"
 
 namespace svelat::qcd {
 
@@ -44,25 +44,51 @@ struct Propagator {
   std::vector<LatticeFermion<S>> columns;
 };
 
-/// Compute the propagator from `origin` with the Schur-preconditioned
-/// solver.  Returns the worst true residual across the 12 solves.
+/// Per-column outcome of a propagator computation: one SolverResult for
+/// each of the 12 (spin, colour) sources, indexed like Propagator columns.
+/// Non-convergence is reported here -- a stalled column sets its
+/// `converged` flag false; nothing asserts -- so physics drivers can
+/// print a diagnosis and exit cleanly.
+struct PropagatorReport {
+  std::vector<solver::SolverResult> columns;
+
+  bool all_converged() const {
+    return std::all_of(columns.begin(), columns.end(),
+                       [](const solver::SolverResult& r) { return r.converged; });
+  }
+  double worst_true_residual() const {
+    double worst = 0.0;
+    for (const auto& r : columns) worst = std::max(worst, r.true_residual);
+    return worst;
+  }
+  int total_iterations() const {
+    int total = 0;
+    for (const auto& r : columns) total += r.iterations;
+    return total;
+  }
+};
+
+/// Compute the propagator from `origin` through a WilsonSolver.  The
+/// solver is constructed once by the caller: its operator setup and
+/// half-field workspaces are reused across all 12 spin-colour columns
+/// instead of being re-derived per right-hand side.
 template <class S>
-double compute_propagator(const EvenOddWilson<S>& eo, const lattice::Coordinate& origin,
-                          Propagator<S>& prop, double tolerance, int max_iterations) {
-  const lattice::GridCartesian* grid = eo.checkerboard().grid();
+PropagatorReport compute_propagator(solver::WilsonSolver<S>& solver,
+                                    const lattice::Coordinate& origin,
+                                    Propagator<S>& prop) {
+  const lattice::GridCartesian* grid = solver.grid();
   LatticeFermion<S> src(grid);
-  double worst = 0.0;
+  PropagatorReport report;
+  report.columns.reserve(static_cast<std::size_t>(Ns * Nc));
   for (int spin = 0; spin < Ns; ++spin) {
     for (int colour = 0; colour < Nc; ++colour) {
       point_source(src, origin, spin, colour);
       auto& x = prop.column(spin, colour);
       x.set_zero();
-      const auto stats = solve_wilson_schur(eo, src, x, tolerance, max_iterations);
-      SVELAT_ASSERT_MSG(stats.converged, "propagator solve did not converge");
-      worst = std::max(worst, stats.true_residual);
+      report.columns.push_back(solver.solve(src, x));
     }
   }
-  return worst;
+  return report;
 }
 
 /// Pion (pseudoscalar) two-point function:

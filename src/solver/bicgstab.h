@@ -6,7 +6,6 @@
 
 #include <cmath>
 
-#include "qcd/even_odd.h"
 #include "solver/cg.h"
 
 namespace svelat::solver {
@@ -14,14 +13,16 @@ namespace svelat::solver {
 /// BiCGSTAB for a general (non-hermitian) operator `op`.  `x` carries the
 /// initial guess and receives the solution.
 template <class Field, class LinearOp>
-SolverStats bicgstab(const LinearOp& op, const Field& b, Field& x, double tolerance,
-                     int max_iterations) {
+SolverResult bicgstab(const LinearOp& op, const Field& b, Field& x, double tolerance,
+                      int max_iterations) {
   using C = decltype(innerProduct(b, b));
-  SolverStats stats;
+  SolverResult stats;
+  stats.algorithm = Algorithm::kBiCGSTAB;
   stats.target_residual = tolerance;
 
   const double b2 = norm2(b);
   SVELAT_ASSERT_MSG(b2 > 0.0, "BiCGSTAB needs a non-zero right-hand side");
+  stats.rhs_norm = std::sqrt(b2);
   const double stop = tolerance * tolerance * b2;
 
   Field r(b.grid()), r0(b.grid()), p(b.grid()), v(b.grid()), s(b.grid()), t(b.grid());
@@ -77,37 +78,22 @@ SolverStats bicgstab(const LinearOp& op, const Field& b, Field& x, double tolera
   op(x, v);
   r = b - v;
   stats.true_residual = std::sqrt(norm2(r) / b2);
+  stats.solution_norm = std::sqrt(norm2(x));
   return stats;
 }
 
-/// Solve M x = b with BiCGSTAB directly on the Wilson operator.
+/// Solve M x = b with BiCGSTAB directly on the Wilson operator.  Building
+/// block of the solver::WilsonSolver facade (Algorithm::kBiCGSTAB,
+/// Preconditioner::kNone).
 template <class S>
-SolverStats solve_wilson_bicgstab(const qcd::WilsonDirac<S>& dirac,
-                                  const qcd::LatticeFermion<S>& b,
-                                  qcd::LatticeFermion<S>& x, double tolerance,
-                                  int max_iterations) {
+SolverResult solve_wilson_bicgstab(const qcd::WilsonDirac<S>& dirac,
+                                   const qcd::LatticeFermion<S>& b,
+                                   qcd::LatticeFermion<S>& x, double tolerance,
+                                   int max_iterations) {
   auto op = [&dirac](const qcd::LatticeFermion<S>& in, qcd::LatticeFermion<S>& out) {
     dirac.m(in, out);
   };
   return bicgstab(op, b, x, tolerance, max_iterations);
-}
-
-/// Schur-preconditioned BiCGSTAB on half-checkerboard fields: Mhat is not
-/// hermitian, so BiCGSTAB solves Mhat x_e = b'_e directly -- no normal
-/// equations, half-volume operands throughout (qcd/even_odd.h).
-template <class S>
-SolverStats solve_wilson_schur_bicgstab(const qcd::SchurEvenOddWilson<S>& eo,
-                                        const qcd::LatticeFermion<S>& b,
-                                        qcd::LatticeFermion<S>& x, double tolerance,
-                                        int max_iterations) {
-  using HalfFermion = qcd::HalfLatticeFermion<S>;
-  return qcd::detail::schur_half_solve(
-      eo, b, x, [&](const HalfFermion& rhs_prime, HalfFermion& x_e) {
-        const auto op = [&eo](const HalfFermion& in, HalfFermion& out) {
-          eo.mhat(in, out);
-        };
-        return bicgstab(op, rhs_prime, x_e, tolerance, max_iterations);
-      });
 }
 
 }  // namespace svelat::solver

@@ -12,32 +12,26 @@
 
 #include "lattice/lattice.h"
 #include "qcd/wilson.h"
+#include "solver/result.h"
 #include "support/assert.h"
 
 namespace svelat::solver {
-
-struct SolverStats {
-  bool converged = false;
-  int iterations = 0;
-  double target_residual = 0.0;        ///< requested |r|/|b|
-  double final_residual = 0.0;         ///< achieved |r|/|b| (recursion residual)
-  double true_residual = 0.0;          ///< recomputed |b - A x| / |b|
-  std::vector<double> residual_history;  ///< |r|/|b| per iteration
-};
 
 /// CG for A x = b with A hermitian positive definite.  `op(in, out)`
 /// applies A.  `x` carries the initial guess and receives the solution.
 /// Field is any lattice field type with grid()/norm2/innerProduct/axpy --
 /// full Lattice<vobj> or the half-checkerboard fields of the production
-/// Schur path (qcd::solve_wilson_schur_half), whose half-length vectors
-/// halve the per-iteration axpy/norm traffic.
+/// Schur path (solver::WilsonSolver), whose half-length vectors halve the
+/// per-iteration axpy/norm traffic.
 template <class Field, class LinearOp>
-SolverStats conjugate_gradient(const LinearOp& op, const Field& b, Field& x,
-                               double tolerance, int max_iterations) {
-  SolverStats stats;
+SolverResult conjugate_gradient(const LinearOp& op, const Field& b, Field& x,
+                                double tolerance, int max_iterations) {
+  SolverResult stats;
+  stats.algorithm = Algorithm::kCG;
   stats.target_residual = tolerance;
 
   const double b2 = norm2(b);
+  stats.rhs_norm = std::sqrt(b2);
   SVELAT_ASSERT_MSG(b2 > 0.0, "CG needs a non-zero right-hand side");
 
   Field r(b.grid()), p(b.grid()), ap(b.grid());
@@ -72,6 +66,7 @@ SolverStats conjugate_gradient(const LinearOp& op, const Field& b, Field& x,
   op(x, ap);  // true residual check
   r = b - ap;
   stats.true_residual = std::sqrt(norm2(r) / b2);
+  stats.solution_norm = std::sqrt(norm2(x));
   return stats;
 }
 
@@ -85,20 +80,23 @@ struct WilsonNormalOp {
 };
 
 /// Solve M x = b through the normal equations; returns CG stats plus the
-/// true Wilson residual |b - M x| / |b|.
+/// true Wilson residual |b - M x| / |b|.  Building block of the
+/// solver::WilsonSolver facade (Algorithm::kCG, Preconditioner::kNone).
 template <class S>
-SolverStats solve_wilson(const qcd::WilsonDirac<S>& dirac, const qcd::LatticeFermion<S>& b,
-                         qcd::LatticeFermion<S>& x, double tolerance,
-                         int max_iterations) {
+SolverResult solve_wilson(const qcd::WilsonDirac<S>& dirac,
+                          const qcd::LatticeFermion<S>& b, qcd::LatticeFermion<S>& x,
+                          double tolerance, int max_iterations) {
   qcd::LatticeFermion<S> mdag_b(b.grid());
   dirac.mdag(b, mdag_b);
-  SolverStats stats = conjugate_gradient(WilsonNormalOp<S>{dirac}, mdag_b, x, tolerance,
-                                         max_iterations);
-  // Replace the normal-equation true residual with the Wilson one.
+  SolverResult stats = conjugate_gradient(WilsonNormalOp<S>{dirac}, mdag_b, x,
+                                          tolerance, max_iterations);
+  // Replace the normal-equation norms with the Wilson-system ones.
+  const double b2 = norm2(b);
+  stats.rhs_norm = std::sqrt(b2);
   qcd::LatticeFermion<S> mx(b.grid()), r(b.grid());
   dirac.m(x, mx);
   r = b - mx;
-  stats.true_residual = std::sqrt(norm2(r) / norm2(b));
+  stats.true_residual = std::sqrt(norm2(r) / b2);
   return stats;
 }
 

@@ -1,17 +1,20 @@
-// Mixed-precision defect-correction CG.
+// Precision conversion for mixed-precision solves.
 //
 // The paper lists "conversion of floating-point precision" among the
 // machine-specific operations Grid needs from each architecture
 // (Sec. II-C) -- because production solvers run the bulk of their
-// iterations in single precision and correct the defect in double.  This
-// solver does exactly that: an outer double-precision residual loop
-// wrapping an inner single-precision CG on the same (converted) gauge
-// field.  On SVE the payoff is architectural: fp32 doubles the lanes per
-// vector, halving instructions per site (cf. bench_dslash 512f).
+// iterations in single precision and correct the defect in double.  On
+// SVE the payoff is architectural: fp32 doubles the lanes per vector,
+// halving instructions per site (cf. bench_dslash 512f).
+//
+// The defect-correction driver itself lives in the WilsonSolver facade
+// (solver/solver.h, Algorithm::kMixedCG); this header provides the
+// layout-safe field conversion it is built on.
 #pragma once
 
-#include "qcd/even_odd.h"
-#include "solver/cg.h"
+#include "lattice/lattice.h"
+#include "support/assert.h"
+#include "tensor/tensor.h"
 
 namespace svelat::solver {
 
@@ -46,77 +49,6 @@ void convert_field(lattice::Lattice<VDst>& dst, const lattice::Lattice<VSrc>& sr
       dst.poke(x, d);
     }
   });
-}
-
-struct MixedStats {
-  bool converged = false;
-  int outer_iterations = 0;
-  int inner_iterations_total = 0;  ///< single-precision CG iterations
-  double final_residual = 0.0;
-  double true_residual = 0.0;
-};
-
-/// Solve M x = b (double) with inner single-precision Schur-CG defect
-/// correction.  Sd / Sf are the double / float SIMD scalars; they may have
-/// different Nsimd (conversion goes through global coordinates).
-template <class Sd, class Sf>
-MixedStats solve_wilson_mixed(const qcd::GaugeField<Sd>& gauge_d, double mass,
-                              const qcd::LatticeFermion<Sd>& b, qcd::LatticeFermion<Sd>& x,
-                              double tolerance, double inner_tolerance,
-                              int max_outer, int max_inner) {
-  using Fd = qcd::LatticeFermion<Sd>;
-  using Ff = qcd::LatticeFermion<Sf>;
-
-  MixedStats stats;
-  const lattice::GridCartesian* grid_d = gauge_d.grid();
-
-  // Single-precision copies of the gauge field on a float-layout grid.
-  lattice::GridCartesian grid_f(grid_d->fdimensions(),
-                                lattice::GridCartesian::default_simd_layout(Sf::Nsimd()));
-  qcd::GaugeField<Sf> gauge_f(&grid_f);
-  for (int mu = 0; mu < lattice::Nd; ++mu) convert_field(gauge_f.U[mu], gauge_d.U[mu]);
-
-  const qcd::WilsonDirac<Sd> dirac_d(gauge_d, mass);
-  // Inner solver runs on true half-checkerboard fields: on top of the fp32
-  // lane doubling, every inner iteration moves half the data of the
-  // zero-padded even-odd path (qcd/even_odd.h).
-  const qcd::SchurEvenOddWilson<Sf> eo_f(gauge_f, mass);
-
-  const double b2 = norm2(b);
-  SVELAT_ASSERT_MSG(b2 > 0.0, "mixed CG needs a non-zero right-hand side");
-
-  Fd r(grid_d), mx(grid_d), e_d(grid_d);
-  Ff r_f(&grid_f), e_f(&grid_f);
-  dirac_d.m(x, mx);
-  r = b - mx;
-
-  for (int outer = 0; outer < max_outer; ++outer) {
-    const double rr = norm2(r);
-    stats.final_residual = std::sqrt(rr / b2);
-    if (stats.final_residual <= tolerance) {
-      stats.converged = true;
-      break;
-    }
-    // Inner solve in single precision: M e = r (approximately).
-    convert_field(r_f, r);
-    e_f.set_zero();
-    const auto inner = qcd::solve_wilson_schur_half(eo_f, r_f, e_f,
-                                                    inner_tolerance, max_inner);
-    stats.inner_iterations_total += inner.iterations;
-
-    // Defect correction in double precision.
-    convert_field(e_d, e_f);
-    x += e_d;
-    dirac_d.m(x, mx);
-    r = b - mx;
-    stats.outer_iterations = outer + 1;
-  }
-
-  dirac_d.m(x, mx);
-  r = b - mx;
-  stats.true_residual = std::sqrt(norm2(r) / b2);
-  stats.converged = stats.true_residual <= tolerance * 10;
-  return stats;
 }
 
 }  // namespace svelat::solver

@@ -1,16 +1,15 @@
 // Integration test: the full production pipeline across every layer.
 //
 //   Metropolis thermalization -> gauge observables -> Wilson operator ->
-//   Schur-preconditioned CG -> propagator physics -- all on the SVE
-//   simulator, with cross-layout reproducibility checks along the way.
+//   WilsonSolver facade (every algorithm) -> propagator physics -- all on
+//   the SVE simulator, with cross-layout reproducibility checks along the
+//   way.
 #include <gtest/gtest.h>
 
 #include "core/svelat.h"
 #include "qcd/metropolis.h"
 #include "qcd/observables.h"
 #include "qcd/propagator.h"
-#include "solver/bicgstab.h"
-#include "solver/mixed_precision.h"
 
 namespace svelat {
 namespace {
@@ -58,12 +57,29 @@ TEST_F(FullWorkflowTest, ThermalizedConfigurationIsOrderedAndUnitary) {
 }
 
 TEST_F(FullWorkflowTest, AllSolversAgreeOnThermalizedBackground) {
+  // Every facade algorithm on the same thermalized background; the inner
+  // scalar of the mixed solve (Sf) is derived by the facade itself.
+  static_assert(std::is_same_v<solver::WilsonSolver<Sd>::InnerScalar, Sf>);
   const double mass = 0.25, tol = 1e-9;
   Fermion b(grid_.get());
   gaussian_fill(SiteRNG(5), b);
 
-  const qcd::WilsonDirac<Sd> dirac(*gauge_, mass);
-  const qcd::EvenOddWilson<Sd> eo(*gauge_, mass);
+  using solver::Algorithm;
+  using solver::Preconditioner;
+  using solver::SolverParams;
+  const auto base = SolverParams{}.with_tolerance(tol).with_max_iterations(800);
+  solver::WilsonSolver<Sd> cg(*gauge_, mass,
+                              SolverParams{base}.with_preconditioner(
+                                  Preconditioner::kNone));
+  solver::WilsonSolver<Sd> schur(*gauge_, mass, base);
+  solver::WilsonSolver<Sd> bicg(*gauge_, mass,
+                                SolverParams{base}
+                                    .with_algorithm(Algorithm::kBiCGSTAB)
+                                    .with_preconditioner(Preconditioner::kNone));
+  solver::WilsonSolver<Sd> mixed(*gauge_, mass,
+                                 SolverParams{base}
+                                     .with_algorithm(Algorithm::kMixedCG)
+                                     .with_max_restarts(25));
 
   Fermion x_cg(grid_.get()), x_schur(grid_.get()), x_bicg(grid_.get()),
       x_mixed(grid_.get());
@@ -71,11 +87,10 @@ TEST_F(FullWorkflowTest, AllSolversAgreeOnThermalizedBackground) {
   x_bicg.set_zero();
   x_mixed.set_zero();
 
-  const auto s_cg = solver::solve_wilson(dirac, b, x_cg, tol, 800);
-  const auto s_schur = qcd::solve_wilson_schur(eo, b, x_schur, tol, 800);
-  const auto s_bicg = solver::solve_wilson_bicgstab(dirac, b, x_bicg, tol, 800);
-  const auto s_mixed = solver::solve_wilson_mixed<Sd, Sf>(*gauge_, mass, b, x_mixed,
-                                                          tol, 1e-4, 25, 400);
+  const auto s_cg = cg.solve(b, x_cg);
+  const auto s_schur = schur.solve(b, x_schur);
+  const auto s_bicg = bicg.solve(b, x_bicg);
+  const auto s_mixed = mixed.solve(b, x_mixed);
   ASSERT_TRUE(s_cg.converged);
   ASSERT_TRUE(s_schur.converged);
   ASSERT_TRUE(s_bicg.converged);
@@ -119,10 +134,13 @@ TEST_F(FullWorkflowTest, WorkflowReproducibleAcrossVectorLengths) {
 }
 
 TEST_F(FullWorkflowTest, PionCorrelatorOnThermalizedGauge) {
-  const qcd::EvenOddWilson<Sd> eo(*gauge_, 0.5);
+  solver::WilsonSolver<Sd> solver(
+      *gauge_, 0.5,
+      solver::SolverParams{}.with_tolerance(1e-8).with_max_iterations(600));
   qcd::Propagator<Sd> prop(grid_.get());
-  const double worst = qcd::compute_propagator(eo, {0, 0, 0, 0}, prop, 1e-8, 600);
-  EXPECT_LT(worst, 1e-7);
+  const auto report = qcd::compute_propagator(solver, {0, 0, 0, 0}, prop);
+  ASSERT_TRUE(report.all_converged());
+  EXPECT_LT(report.worst_true_residual(), 1e-7);
   const auto corr = qcd::pion_correlator(prop);
   // Positivity is exact (the pion correlator is a sum of |G|^2 even on a
   // single configuration); time-reflection symmetry only holds in the

@@ -1,8 +1,12 @@
-// Even-odd (Schur) preconditioning tests.
+// Even-odd (Schur) preconditioning tests: the production half-checkerboard
+// path (qcd/even_odd.h, driven through solver::WilsonSolver) checked
+// against the zero-padded test oracle (padded_oracle.h).
 #include "qcd/even_odd.h"
 
 #include <gtest/gtest.h>
 
+#include "padded_oracle.h"
+#include "solver/solver.h"
 #include "sve/sve.h"
 
 namespace svelat::qcd {
@@ -242,14 +246,16 @@ TEST_F(EvenOddTest, HalfMhatMatchesZeroPaddedMhat) {
 
 TEST_F(EvenOddTest, HalfSchurSolveMatchesFullLatticeCG) {
   const double mass = 0.2, tol = 1e-9;
-  const SchurEvenOddWilson<S> eo(*gauge_, mass);
+  solver::WilsonSolver<S> schur(
+      *gauge_, mass,
+      solver::SolverParams{}.with_tolerance(tol).with_max_iterations(500));
   const WilsonDirac<S> dirac(*gauge_, mass);
   Fermion b(grid_.get()), x_half(grid_.get()), x_full(grid_.get());
   gaussian_fill(SiteRNG(7), b);
   x_half.set_zero();
   x_full.set_zero();
 
-  const auto s1 = solve_wilson_schur_half(eo, b, x_half, tol, 500);
+  const auto s1 = schur.solve(b, x_half);
   const auto s2 = solver::solve_wilson(dirac, b, x_full, tol, 500);
   ASSERT_TRUE(s1.converged);
   ASSERT_TRUE(s2.converged);
@@ -260,13 +266,15 @@ TEST_F(EvenOddTest, HalfSchurSolveMatchesFullLatticeCG) {
 
 TEST_F(EvenOddTest, HalfSchurSolveMatchesZeroPaddedSchur) {
   const double mass = 0.2, tol = 1e-9;
-  const SchurEvenOddWilson<S> eo_half(*gauge_, mass);
+  solver::WilsonSolver<S> half(
+      *gauge_, mass,
+      solver::SolverParams{}.with_tolerance(tol).with_max_iterations(500));
   const EvenOddWilson<S> eo_padded(*gauge_, mass);
   Fermion b(grid_.get()), x_half(grid_.get()), x_padded(grid_.get());
   gaussian_fill(SiteRNG(17), b);
   x_half.set_zero();
 
-  const auto s1 = solve_wilson_schur_half(eo_half, b, x_half, tol, 500);
+  const auto s1 = half.solve(b, x_half);
   const auto s2 = solve_wilson_schur(eo_padded, b, x_padded, tol, 500);
   ASSERT_TRUE(s1.converged);
   ASSERT_TRUE(s2.converged);

@@ -63,10 +63,13 @@ TEST_F(PropagatorTest, FieldLevelGammaIsInvolutionUpToSign) {
 TEST_F(PropagatorTest, FreeFieldCorrelatorSymmetric) {
   GaugeField<S> gauge(grid_.get());
   unit_gauge(gauge);
-  const EvenOddWilson<S> eo(gauge, 0.5);
+  solver::WilsonSolver<S> solver(
+      gauge, 0.5,
+      solver::SolverParams{}.with_tolerance(1e-9).with_max_iterations(600));
   Propagator<S> prop(grid_.get());
-  const double worst = compute_propagator(eo, {0, 0, 0, 0}, prop, 1e-9, 600);
-  EXPECT_LT(worst, 1e-8);
+  const auto report = compute_propagator(solver, {0, 0, 0, 0}, prop);
+  ASSERT_TRUE(report.all_converged());
+  EXPECT_LT(report.worst_true_residual(), 1e-8);
 
   const auto corr = pion_correlator(prop);
   ASSERT_EQ(corr.size(), 8u);
@@ -84,12 +87,35 @@ TEST_F(PropagatorTest, FreeFieldCorrelatorSymmetric) {
 TEST_F(PropagatorTest, EffectiveMassPositiveAndPlateauing) {
   GaugeField<S> gauge(grid_.get());
   unit_gauge(gauge);
-  const EvenOddWilson<S> eo(gauge, 0.8);  // heavy quark: fast plateau
+  // Heavy quark: fast plateau.
+  solver::WilsonSolver<S> solver(
+      gauge, 0.8,
+      solver::SolverParams{}.with_tolerance(1e-9).with_max_iterations(600));
   Propagator<S> prop(grid_.get());
-  compute_propagator(eo, {0, 0, 0, 0}, prop, 1e-9, 600);
+  ASSERT_TRUE(compute_propagator(solver, {0, 0, 0, 0}, prop).all_converged());
   const auto meff = effective_mass(pion_correlator(prop));
   // In the decaying half, m_eff is positive.
   for (std::size_t t = 0; t < 3; ++t) EXPECT_GT(meff[t], 0.0) << t;
+}
+
+TEST_F(PropagatorTest, NonConvergenceReportedPerColumn) {
+  // A starved iteration cap must be *reported* (per-column converged
+  // flags), never asserted: physics drivers decide how to fail.
+  GaugeField<S> gauge(grid_.get());
+  random_gauge(SiteRNG(9), gauge);
+  solver::WilsonSolver<S> solver(
+      gauge, 0.2,
+      solver::SolverParams{}.with_tolerance(1e-12).with_max_iterations(1));
+  Propagator<S> prop(grid_.get());
+  const auto report = compute_propagator(solver, {0, 0, 0, 0}, prop);
+  ASSERT_EQ(report.columns.size(), static_cast<std::size_t>(Ns * Nc));
+  EXPECT_FALSE(report.all_converged());
+  for (const auto& col : report.columns) {
+    EXPECT_FALSE(col.converged);
+    EXPECT_EQ(col.iterations, 1);
+    EXPECT_GT(col.true_residual, 1e-12);
+    EXPECT_GT(col.rhs_norm, 0.0);
+  }
 }
 
 TEST_F(PropagatorTest, CorrelatorGaugeInvariant) {
@@ -98,18 +124,20 @@ TEST_F(PropagatorTest, CorrelatorGaugeInvariant) {
   // by unitarity).
   GaugeField<S> gauge(grid_.get());
   random_gauge(SiteRNG(5), gauge);
-  const EvenOddWilson<S> eo(gauge, 0.5);
+  const auto params =
+      solver::SolverParams{}.with_tolerance(1e-10).with_max_iterations(800);
+  solver::WilsonSolver<S> solver(gauge, 0.5, params);
   Propagator<S> prop(grid_.get());
-  compute_propagator(eo, {0, 0, 0, 0}, prop, 1e-10, 800);
+  ASSERT_TRUE(compute_propagator(solver, {0, 0, 0, 0}, prop).all_converged());
   const auto corr = pion_correlator(prop);
 
   lattice::Lattice<ColourMatrix<S>> v(grid_.get());
   random_colour_transform(SiteRNG(6), v);
   GaugeField<S> gauge_t = gauge;
   gauge_transform(gauge_t, v);
-  const EvenOddWilson<S> eo_t(gauge_t, 0.5);
+  solver::WilsonSolver<S> solver_t(gauge_t, 0.5, params);
   Propagator<S> prop_t(grid_.get());
-  compute_propagator(eo_t, {0, 0, 0, 0}, prop_t, 1e-10, 800);
+  ASSERT_TRUE(compute_propagator(solver_t, {0, 0, 0, 0}, prop_t).all_converged());
   const auto corr_t = pion_correlator(prop_t);
 
   for (std::size_t t = 0; t < corr.size(); ++t)

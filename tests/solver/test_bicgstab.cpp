@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "qcd/qcd.h"
+#include "solver/solver.h"
 #include "sve/sve.h"
 
 namespace svelat::solver {
@@ -77,14 +78,19 @@ TEST_F(BiCGStabTest, FewerMatrixApplicationsThanNormalCG) {
 }
 
 TEST_F(BiCGStabTest, SchurHalfFieldSolveAgreesWithFullSolvers) {
-  // BiCGSTAB directly on Mhat over half-checkerboard fields: no normal
-  // equations, half-volume operands, same solution as the full solvers.
+  // BiCGSTAB directly on Mhat over half-checkerboard fields (the facade's
+  // kBiCGSTAB x kSchurEvenOdd path): no normal equations, half-volume
+  // operands, same solution as the full solvers.
   const double mass = 0.2, tol = 1e-10;
   const qcd::WilsonDirac<S> dirac(*gauge_, mass);
-  const qcd::SchurEvenOddWilson<S> eo(*gauge_, mass);
+  WilsonSolver<S> schur(*gauge_, mass,
+                        SolverParams{}
+                            .with_algorithm(Algorithm::kBiCGSTAB)
+                            .with_tolerance(tol)
+                            .with_max_iterations(500));
   Fermion x_cg(grid_.get());
   x_cg.set_zero();
-  const auto s1 = solve_wilson_schur_bicgstab(eo, *b_, *x_, tol, 500);
+  const auto s1 = schur.solve(*b_, *x_);
   const auto s2 = solve_wilson(dirac, *b_, x_cg, tol, 800);
   ASSERT_TRUE(s1.converged);
   ASSERT_TRUE(s2.converged);

@@ -32,7 +32,7 @@ struct CGFixture {
 TEST(CG, ConvergesOnWilsonNormalEquations) {
   using S = simd::SimdComplex<double, simd::kVLB512, simd::SveFcmla>;
   CGFixture<S> f;
-  const SolverStats stats = solve_wilson(f.dirac, f.b, f.x, 1e-8, 500);
+  const SolverResult stats = solve_wilson(f.dirac, f.b, f.x, 1e-8, 500);
   EXPECT_TRUE(stats.converged);
   EXPECT_LT(stats.true_residual, 1e-7);
   EXPECT_GT(stats.iterations, 5);  // non-trivial problem
@@ -41,7 +41,7 @@ TEST(CG, ConvergesOnWilsonNormalEquations) {
 TEST(CG, ResidualHistoryReachesTolerance) {
   using S = simd::SimdComplex<double, simd::kVLB256, simd::SveFcmla>;
   CGFixture<S> f;
-  const SolverStats stats = solve_wilson(f.dirac, f.b, f.x, 1e-6, 500);
+  const SolverResult stats = solve_wilson(f.dirac, f.b, f.x, 1e-6, 500);
   ASSERT_TRUE(stats.converged);
   ASSERT_FALSE(stats.residual_history.empty());
   EXPECT_LE(stats.final_residual, 1e-6);
@@ -53,7 +53,7 @@ TEST(CG, ResidualHistoryReachesTolerance) {
 TEST(CG, SolutionSatisfiesWilsonEquation) {
   using S = simd::SimdComplex<double, simd::kVLB512, simd::SveReal>;
   CGFixture<S> f;
-  const SolverStats stats = solve_wilson(f.dirac, f.b, f.x, 1e-9, 800);
+  const SolverResult stats = solve_wilson(f.dirac, f.b, f.x, 1e-9, 800);
   ASSERT_TRUE(stats.converged);
   qcd::LatticeFermion<S> mx(&f.grid);
   f.dirac.m(f.x, mx);

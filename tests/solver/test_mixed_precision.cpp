@@ -1,8 +1,11 @@
-// Mixed-precision defect-correction solver tests.
+// Mixed-precision defect-correction solver tests (Algorithm::kMixedCG of
+// the WilsonSolver facade) and the precision-conversion utility it is
+// built on.
 #include "solver/mixed_precision.h"
 
 #include <gtest/gtest.h>
 
+#include "solver/solver.h"
 #include "sve/sve.h"
 
 namespace svelat::solver {
@@ -11,6 +14,15 @@ namespace {
 using Sd = simd::SimdComplex<double, simd::kVLB512, simd::SveFcmla>;
 using Sf = simd::SimdComplex<float, simd::kVLB512, simd::SveFcmla>;
 using Fd = qcd::LatticeFermion<Sd>;
+
+SolverParams mixed_params(double tol) {
+  return SolverParams{}
+      .with_algorithm(Algorithm::kMixedCG)
+      .with_tolerance(tol)
+      .with_inner_tolerance(1e-4)
+      .with_inner_max_iterations(400)
+      .with_max_restarts(20);
+}
 
 class MixedTest : public ::testing::Test {
  protected:
@@ -64,22 +76,30 @@ TEST_F(MixedTest, ConvertFieldRoundsToFloat) {
   EXPECT_LT(rel, 1e-7);      // but only at float epsilon level
 }
 
+TEST_F(MixedTest, InnerScalarRebindsToFloat) {
+  // kMixedCG derives its inner scalar from the outer one: same VL and
+  // backend, fp32 lanes (twice as many virtual nodes per vector).
+  static_assert(std::is_same_v<WilsonSolver<Sd>::InnerScalar, Sf>);
+  static_assert(Sf::Nsimd() == 2 * Sd::Nsimd());
+}
+
 TEST_F(MixedTest, ConvergesToDoublePrecisionTolerance) {
-  const auto stats = solve_wilson_mixed<Sd, Sf>(*gauge_, 0.2, *b_, *x_,
-                                                /*tol=*/1e-10, /*inner_tol=*/1e-4,
-                                                /*max_outer=*/20, /*max_inner=*/400);
+  WilsonSolver<Sd> solver(*gauge_, 0.2, mixed_params(1e-10));
+  const auto stats = solver.solve(*b_, *x_);
   EXPECT_TRUE(stats.converged);
   EXPECT_LT(stats.true_residual, 1e-9);
-  EXPECT_GE(stats.outer_iterations, 2);  // genuinely iterated defect correction
-  EXPECT_GT(stats.inner_iterations_total, 0);
+  EXPECT_GE(stats.iterations, 2);  // genuinely iterated defect correction
+  EXPECT_GT(stats.inner_iterations, 0);
+  // One history entry per outer residual check.
+  EXPECT_GE(stats.residual_history.size(), static_cast<std::size_t>(stats.iterations));
 }
 
 TEST_F(MixedTest, MatchesDoubleSolve) {
   const qcd::WilsonDirac<Sd> dirac(*gauge_, 0.2);
   Fd x_double(grid_.get());
   x_double.set_zero();
-  const auto s_mixed = solve_wilson_mixed<Sd, Sf>(*gauge_, 0.2, *b_, *x_, 1e-10, 1e-4,
-                                                  20, 400);
+  WilsonSolver<Sd> solver(*gauge_, 0.2, mixed_params(1e-10));
+  const auto s_mixed = solver.solve(*b_, *x_);
   const auto s_double = solve_wilson(dirac, *b_, x_double, 1e-10, 800);
   ASSERT_TRUE(s_mixed.converged);
   ASSERT_TRUE(s_double.converged);
@@ -89,13 +109,17 @@ TEST_F(MixedTest, MatchesDoubleSolve) {
 TEST_F(MixedTest, TighterInnerToleranceFewerOuterIterations) {
   Fd x2(grid_.get());
   x2.set_zero();
-  const auto loose = solve_wilson_mixed<Sd, Sf>(*gauge_, 0.2, *b_, *x_, 1e-9, 1e-2,
-                                                40, 400);
-  const auto tight = solve_wilson_mixed<Sd, Sf>(*gauge_, 0.2, *b_, x2, 1e-9, 1e-5,
-                                                40, 400);
+  WilsonSolver<Sd> loose_solver(
+      *gauge_, 0.2,
+      mixed_params(1e-9).with_inner_tolerance(1e-2).with_max_restarts(40));
+  WilsonSolver<Sd> tight_solver(
+      *gauge_, 0.2,
+      mixed_params(1e-9).with_inner_tolerance(1e-5).with_max_restarts(40));
+  const auto loose = loose_solver.solve(*b_, *x_);
+  const auto tight = tight_solver.solve(*b_, x2);
   ASSERT_TRUE(loose.converged);
   ASSERT_TRUE(tight.converged);
-  EXPECT_LT(tight.outer_iterations, loose.outer_iterations);
+  EXPECT_LT(tight.iterations, loose.iterations);
 }
 
 }  // namespace
