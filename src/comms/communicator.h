@@ -1,12 +1,30 @@
-// Simulated communicator: an in-process stand-in for the MPI layer.
+// Communicator: the transport interface of the comms layer.
 //
-// The paper's Grid runs distribute sub-lattices over MPI ranks (Sec. II-A);
-// no multi-node fabric exists in this reproduction, so the communicator
-// hosts R logical ranks inside one process and routes messages through
-// in-memory mailboxes.  The pack -> (compress) -> send -> recv ->
-// (decompress) -> unpack code path is therefore fully executable and
-// testable, which is all the ISA port needs (the fabric itself is not
-// SVE-relevant).
+// The paper's Grid runs distribute sub-lattices over MPI ranks (Sec. II-A).
+// This reproduction keeps the pack -> (compress) -> send -> recv ->
+// (decompress) -> unpack path transport-agnostic behind one small
+// interface; two implementations exist:
+//
+//   SimCommunicator     (below)          -- hosts all R logical ranks in one
+//                                           process, routing messages through
+//                                           in-memory mailboxes.  Deterministic
+//                                           and dependency-free; the unit-test
+//                                           workhorse.
+//   SocketCommunicator  (comms/socket.h) -- one OS process per rank, wired as
+//                                           a full mesh of Unix-domain
+//                                           sockets with a thin framing
+//                                           protocol.  The real multi-process
+//                                           transport (no MPI dependency).
+//
+// Semantics every implementation must provide (enforced by the conformance
+// suite in tests/comms/test_communicator_conformance.cpp):
+//   - messages on the same (from, to, tag) channel arrive in FIFO order;
+//   - distinct tags multiplex independently over the same rank pair;
+//   - self-sends (from == to) are legal and loop back locally;
+//   - bytes_sent() counts payload bytes of every send issued through this
+//     object (the wire framing overhead is not charged);
+//   - recv() of a message that was never sent is a programming error and
+//     aborts (after a timeout, for transports that must wait on a peer).
 #pragma once
 
 #include <cstddef>
@@ -20,25 +38,52 @@
 
 namespace svelat::comms {
 
-class SimCommunicator {
+class Communicator {
+ public:
+  virtual ~Communicator() = default;
+
+  /// Number of ranks in the world.
+  virtual int size() const = 0;
+
+  /// Post a message from `from` to `to` with a user tag.
+  virtual void send(int from, int to, int tag, std::vector<std::uint8_t> payload) = 0;
+
+  /// Receive the oldest message matching (from, tag) addressed to `to`;
+  /// aborts if no matching send exists (possibly after a transport-defined
+  /// timeout).
+  virtual std::vector<std::uint8_t> recv(int to, int from, int tag) = 0;
+
+  /// True when a matching message has already arrived (non-blocking; may
+  /// poll the transport, hence non-const).
+  virtual bool has_pending(int to, int from, int tag) = 0;
+
+  /// Total payload bytes sent through this object since construction /
+  /// reset_counters().
+  virtual std::size_t bytes_sent() const = 0;
+  virtual void reset_counters() = 0;
+};
+
+/// In-process transport: R logical ranks share one object, messages live in
+/// per-(from, to, tag) mailboxes.  Single-threaded deterministic schedule --
+/// a recv must follow its send, so recv of a missing message aborts
+/// immediately instead of blocking.
+class SimCommunicator final : public Communicator {
  public:
   explicit SimCommunicator(int nranks) : nranks_(nranks) {
     SVELAT_ASSERT_MSG(nranks > 0, "need at least one rank");
   }
 
-  int size() const { return nranks_; }
+  int size() const override { return nranks_; }
 
-  /// Post a message from `from` to `to` with a user tag.
-  void send(int from, int to, int tag, std::vector<std::uint8_t> payload) {
+  void send(int from, int to, int tag, std::vector<std::uint8_t> payload) override {
     check_rank(from);
     check_rank(to);
+    const std::size_t bytes = payload.size();  // before the move empties it
     mailboxes_[key(from, to, tag)].push_back(std::move(payload));
-    bytes_sent_ += mailboxes_[key(from, to, tag)].back().size();
+    bytes_sent_ += bytes;
   }
 
-  /// Receive the oldest matching message; aborts if none is pending
-  /// (deterministic single-threaded schedule -- a recv must follow its send).
-  std::vector<std::uint8_t> recv(int to, int from, int tag) {
+  std::vector<std::uint8_t> recv(int to, int from, int tag) override {
     check_rank(from);
     check_rank(to);
     auto it = mailboxes_.find(key(from, to, tag));
@@ -49,19 +94,22 @@ class SimCommunicator {
     return payload;
   }
 
-  bool has_pending(int to, int from, int tag) const {
+  bool has_pending(int to, int from, int tag) override {
+    check_rank(from);
+    check_rank(to);
     auto it = mailboxes_.find(key(from, to, tag));
     return it != mailboxes_.end() && !it->second.empty();
   }
 
-  /// Total payload bytes that crossed the (simulated) network.
-  std::size_t bytes_sent() const { return bytes_sent_; }
-  void reset_counters() { bytes_sent_ = 0; }
+  std::size_t bytes_sent() const override { return bytes_sent_; }
+  void reset_counters() override { bytes_sent_ = 0; }
 
  private:
   using Key = std::tuple<int, int, int>;
   static Key key(int from, int to, int tag) { return {from, to, tag}; }
-  void check_rank(int r) const { SVELAT_ASSERT_MSG(r >= 0 && r < nranks_, "bad rank"); }
+  void check_rank(int r) const {
+    SVELAT_ASSERT_MSG(r >= 0 && r < nranks_, "bad rank");
+  }
 
   int nranks_;
   std::map<Key, std::deque<std::vector<std::uint8_t>>> mailboxes_;

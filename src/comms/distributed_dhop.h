@@ -1,0 +1,109 @@
+// Distributed Wilson hopping term: qcd::dhop_via_shift with the split-
+// dimension neighbour fields fetched through the halo exchange.
+//
+// Per rank and per application, exactly three faces cross the wire (the
+// fermion's +mu and -mu faces and the gauge link's -mu face for mu ==
+// split_dim); every other shift is rank-local.  The faces are PRE-POSTED
+// in the same fixed order dhop_via_shift consumes them (psi fwd, psi bwd,
+// gauge bwd -- see the contract note there), so
+//
+//   - a real rank process calls rank_dhop: post all three, then compute,
+//     with each comm-shift recv'ing its already-in-flight face;
+//   - the in-process all-ranks driver (distributed_dhop) posts for every
+//     rank first and completes for every rank second, which is what lets
+//     the SimCommunicator's send-before-recv schedule and the socket
+//     transport share this code path line for line.
+//
+// With Compression::kNone the gathered multi-rank result is bitwise equal
+// to single-rank dhop_via_cshift: the exchanged faces reproduce the
+// periodic wrap exactly and the per-site SIMD arithmetic is lane-wise.
+#pragma once
+
+#include "comms/distributed.h"
+#include "qcd/wilson.h"
+
+namespace svelat::comms {
+
+namespace detail {
+
+/// Post the three split-dimension faces one dhop application consumes,
+/// tagged by exchange sequence number.
+template <class S>
+void post_dhop_faces(const RankDecomposition& decomp, Communicator& comm, int rank,
+                     const qcd::GaugeField<S>& u, const qcd::LatticeFermion<S>& in,
+                     Compression mode) {
+  const int s = decomp.split_dim();
+  post_shift_face(decomp, comm, rank, in, +1, mode, kDhopTagBase + 0);
+  post_shift_face(decomp, comm, rank, in, -1, mode, kDhopTagBase + 1);
+  post_shift_face(decomp, comm, rank, u.U[s], -1, mode, kDhopTagBase + 2);
+}
+
+/// Run the shared hopping-term arithmetic, completing the pre-posted
+/// exchanges in consumption order.
+template <class S>
+void complete_dhop(const RankDecomposition& decomp, Communicator& comm, int rank,
+                   const qcd::GaugeField<S>& u, const qcd::LatticeFermion<S>& in,
+                   qcd::LatticeFermion<S>& out, Compression mode) {
+  const int s = decomp.split_dim();
+  int seq = 0;
+  qcd::dhop_via_shift(u, in, out, [&](const auto& f, int mu, int disp) {
+    using FieldT = std::decay_t<decltype(f)>;
+    if (mu != s) return lattice::Cshift(f, mu, disp);
+    FieldT shifted(f.grid());
+    complete_shift(decomp, comm, rank, f, shifted, disp, mode, kDhopTagBase + seq++);
+    return shifted;
+  });
+  SVELAT_ASSERT_MSG(seq == 3, "dhop consumed an unexpected number of exchanges");
+}
+
+}  // namespace detail
+
+/// One rank's distributed hopping term (the real-process entry point):
+/// out = Dh in on this rank's sub-lattice, faces exchanged with the
+/// neighbouring ranks through `comm`.
+template <class S>
+void rank_dhop(const RankDecomposition& decomp, Communicator& comm, int rank,
+               const qcd::GaugeField<S>& u_local, const qcd::LatticeFermion<S>& in,
+               qcd::LatticeFermion<S>& out,
+               Compression mode = Compression::kNone) {
+  detail::post_dhop_faces(decomp, comm, rank, u_local, in, mode);
+  detail::complete_dhop(decomp, comm, rank, u_local, in, out, mode);
+}
+
+/// Gauge links distributed over all ranks (in-process counterpart of one
+/// GaugeField per rank process).
+template <class S>
+struct DistributedGauge {
+  explicit DistributedGauge(const RankDecomposition& decomp) {
+    for (int r = 0; r < decomp.ranks(); ++r) locals.emplace_back(decomp.grid(r));
+  }
+  std::vector<qcd::GaugeField<S>> locals;
+};
+
+template <class S>
+void scatter_gauge(const RankDecomposition& decomp, const qcd::GaugeField<S>& global,
+                   DistributedGauge<S>& dist) {
+  for (int mu = 0; mu < lattice::Nd; ++mu)
+    for (int r = 0; r < decomp.ranks(); ++r)
+      dist.locals[static_cast<std::size_t>(r)].U[static_cast<std::size_t>(mu)] =
+          scatter_rank(decomp, global.U[static_cast<std::size_t>(mu)], r);
+}
+
+/// All-ranks driver for in-process transports: every rank posts its faces,
+/// then every rank computes.
+template <class S>
+void distributed_dhop(const RankDecomposition& decomp, Communicator& comm,
+                      const DistributedGauge<S>& u,
+                      const DistributedField<qcd::SpinColourVector<S>>& in,
+                      DistributedField<qcd::SpinColourVector<S>>& out,
+                      Compression mode = Compression::kNone) {
+  for (int r = 0; r < decomp.ranks(); ++r)
+    detail::post_dhop_faces(decomp, comm, r, u.locals[static_cast<std::size_t>(r)],
+                            in.locals[static_cast<std::size_t>(r)], mode);
+  for (int r = 0; r < decomp.ranks(); ++r)
+    detail::complete_dhop(decomp, comm, r, u.locals[static_cast<std::size_t>(r)],
+                          in.locals[static_cast<std::size_t>(r)],
+                          out.locals[static_cast<std::size_t>(r)], mode);
+}
+
+}  // namespace svelat::comms

@@ -2,10 +2,10 @@
 //
 // Packs the face { x : x_mu = edge } of a fermion (or any) field into a
 // contiguous buffer of complex components, optionally compresses it with
-// the SVE precision-conversion pipelines, routes it through the simulated
-// communicator, and unpacks on the receiving side.  The compression mode
-// trades bandwidth for precision exactly as Grid's fp16 exchange buffers
-// do (paper Sec. V-B).
+// the SVE precision-conversion pipelines, routes it through any
+// Communicator transport, and unpacks on the receiving side.  The
+// compression mode trades bandwidth for precision exactly as Grid's fp16
+// exchange buffers do (paper Sec. V-B).
 #pragma once
 
 #include <complex>
@@ -121,7 +121,7 @@ std::vector<double> decompress(const std::vector<std::uint8_t>& wire, std::size_
 /// communicator, receive, decompress.  Returns the received samples and
 /// reports wire bytes via *wire_bytes.
 template <class vobj>
-std::vector<double> exchange_face(SimCommunicator& comm, const lattice::Lattice<vobj>& f,
+std::vector<double> exchange_face(Communicator& comm, const lattice::Lattice<vobj>& f,
                                   int mu, int slice, Compression mode, int from_rank,
                                   int to_rank, std::size_t* wire_bytes = nullptr) {
   const std::vector<double> packed = pack_face(f, mu, slice);

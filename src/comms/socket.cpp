@@ -1,0 +1,357 @@
+#include "comms/socket.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/ioctl.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+
+#include "support/parallel.h"
+
+namespace svelat::comms {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x53564c54;  // "SVLT"
+
+struct FrameHeader {
+  std::uint32_t magic;
+  std::int32_t from;
+  std::int32_t to;
+  std::int32_t tag;
+  std::uint64_t bytes;
+};
+static_assert(sizeof(FrameHeader) == 24, "wire frame header is 24 bytes");
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  SVELAT_ASSERT_MSG(flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0,
+                    "fcntl(O_NONBLOCK) failed");
+}
+
+std::int64_t now_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// poll() one fd for the given events; true when ready, false on timeout.
+bool wait_ready(int fd, short events, int timeout_ms) {
+  struct pollfd p;
+  p.fd = fd;
+  p.events = events;
+  p.revents = 0;
+  for (;;) {
+    const int rc = ::poll(&p, 1, timeout_ms);
+    if (rc < 0 && errno == EINTR) continue;
+    SVELAT_ASSERT_MSG(rc >= 0, "poll failed");
+    return rc > 0;
+  }
+}
+
+}  // namespace
+
+SocketCommunicator::SocketCommunicator(int nranks, int my_rank,
+                                       std::vector<int> peer_fds, int recv_timeout_ms)
+    : nranks_(nranks),
+      rank_(my_rank),
+      recv_timeout_ms_(recv_timeout_ms),
+      peer_fds_(std::move(peer_fds)),
+      peer_eof_(static_cast<std::size_t>(nranks), false) {
+  SVELAT_ASSERT_MSG(nranks > 0, "need at least one rank");
+  check_rank(my_rank);
+  SVELAT_ASSERT_MSG(static_cast<int>(peer_fds_.size()) == nranks,
+                    "need one descriptor slot per rank");
+  for (int r = 0; r < nranks_; ++r) {
+    if (r == rank_) continue;
+    SVELAT_ASSERT_MSG(peer_fds_[static_cast<std::size_t>(r)] >= 0, "bad peer descriptor");
+    set_nonblocking(peer_fds_[static_cast<std::size_t>(r)]);
+  }
+}
+
+SocketCommunicator::~SocketCommunicator() {
+  for (int r = 0; r < nranks_; ++r) {
+    const int fd = peer_fds_[static_cast<std::size_t>(r)];
+    if (r != rank_ && fd >= 0) ::close(fd);
+  }
+}
+
+void SocketCommunicator::send(int from, int to, int tag,
+                              std::vector<std::uint8_t> payload) {
+  SVELAT_ASSERT_MSG(from == rank_, "a socket endpoint sends only from its own rank");
+  check_rank(to);
+  bytes_sent_ += payload.size();
+  if (to == rank_) {  // loop back locally, no wire involved
+    inbox_[Key{rank_, tag}].push_back(std::move(payload));
+    return;
+  }
+  FrameHeader h;
+  h.magic = kMagic;
+  h.from = from;
+  h.to = to;
+  h.tag = tag;
+  h.bytes = payload.size();
+  write_all(to, &h, sizeof h);
+  write_all(to, payload.data(), payload.size());
+}
+
+void SocketCommunicator::write_all(int to, const void* data, std::size_t n) {
+  const int fd = peer_fds_[static_cast<std::size_t>(to)];
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  const std::int64_t deadline = now_ms() + recv_timeout_ms_;
+  std::size_t done = 0;
+  while (done < n) {
+    // MSG_NOSIGNAL: a vanished peer surfaces as EPIPE, not a fatal SIGPIPE.
+    const ssize_t w = ::send(fd, p + done, n - done, MSG_NOSIGNAL);
+    if (w > 0) {
+      done += static_cast<std::size_t>(w);
+      continue;
+    }
+    if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      // Peer's buffer is full: it is likely mid-send itself.  Drain any
+      // inbound frame to keep both sides progressing, then wait briefly
+      // for writability.  Skip peers that already exited: their
+      // descriptors poll readable (POLLHUP) forever.
+      for (int r = 0; r < nranks_; ++r) {
+        if (r == rank_ || r == to || peer_eof_[static_cast<std::size_t>(r)]) continue;
+        if (wait_ready(peer_fds_[static_cast<std::size_t>(r)], POLLIN, 0))
+          drain_frame(r, recv_timeout_ms_);
+      }
+      if (!peer_eof_[static_cast<std::size_t>(to)] && wait_ready(fd, POLLIN, 0))
+        drain_frame(to, recv_timeout_ms_);
+      SVELAT_ASSERT_MSG(now_ms() < deadline,
+                        "send timed out (peer not draining its socket)");
+      wait_ready(fd, POLLOUT, 10);
+      continue;
+    }
+    if (w < 0 && errno == EINTR) continue;
+    SVELAT_ASSERT_MSG(false, "socket send failed (peer gone?)");
+  }
+}
+
+void SocketCommunicator::read_exact(int fd, void* data, std::size_t n) {
+  auto* p = static_cast<std::uint8_t*>(data);
+  std::size_t done = 0;
+  while (done < n) {
+    const ssize_t r = ::recv(fd, p + done, n - done, 0);
+    if (r > 0) {
+      done += static_cast<std::size_t>(r);
+      continue;
+    }
+    if (r < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      // The sender writes header + payload back to back; the remainder of
+      // a started frame arrives promptly.
+      SVELAT_ASSERT_MSG(wait_ready(fd, POLLIN, recv_timeout_ms_),
+                        "timed out mid-frame (peer died?)");
+      continue;
+    }
+    if (r < 0 && errno == EINTR) continue;
+    SVELAT_ASSERT_MSG(false, "socket closed mid-frame (peer died?)");
+  }
+}
+
+bool SocketCommunicator::drain_frame(int from, int timeout_ms) {
+  if (peer_eof_[static_cast<std::size_t>(from)]) return false;
+  const int fd = peer_fds_[static_cast<std::size_t>(from)];
+  if (!wait_ready(fd, POLLIN, timeout_ms)) return false;
+  // Read the header byte by byte so EOF on a frame BOUNDARY (the peer
+  // completed all its sends and exited; its descriptor polls readable
+  // forever) is distinguishable from EOF inside a frame (a torn write:
+  // the peer died).  Only the latter is an error.
+  FrameHeader h;
+  auto* hp = reinterpret_cast<std::uint8_t*>(&h);
+  std::size_t got = 0;
+  while (got < sizeof h) {
+    const ssize_t r = ::recv(fd, hp + got, sizeof h - got, 0);
+    if (r > 0) {
+      got += static_cast<std::size_t>(r);
+      continue;
+    }
+    if (r == 0) {
+      SVELAT_ASSERT_MSG(got == 0, "socket closed mid-frame (peer died?)");
+      peer_eof_[static_cast<std::size_t>(from)] = true;
+      return false;
+    }
+    if (errno == EINTR) continue;
+    SVELAT_ASSERT_MSG(errno == EAGAIN || errno == EWOULDBLOCK, "socket recv failed");
+    SVELAT_ASSERT_MSG(wait_ready(fd, POLLIN, recv_timeout_ms_),
+                      "timed out mid-frame (peer died?)");
+  }
+  SVELAT_ASSERT_MSG(h.magic == kMagic, "bad frame magic (stream desynchronized)");
+  SVELAT_ASSERT_MSG(h.from == from && h.to == rank_, "misrouted frame");
+  std::vector<std::uint8_t> payload(h.bytes);
+  read_exact(fd, payload.data(), payload.size());
+  inbox_[Key{h.from, h.tag}].push_back(std::move(payload));
+  return true;
+}
+
+std::vector<std::uint8_t> SocketCommunicator::recv(int to, int from, int tag) {
+  SVELAT_ASSERT_MSG(to == rank_, "a socket endpoint receives only at its own rank");
+  check_rank(from);
+  const Key k{from, tag};
+  const std::int64_t deadline = now_ms() + recv_timeout_ms_;
+  for (;;) {
+    auto it = inbox_.find(k);
+    if (it != inbox_.end() && !it->second.empty()) {
+      std::vector<std::uint8_t> payload = std::move(it->second.front());
+      it->second.pop_front();
+      return payload;
+    }
+    // Self-sends loop back in send(); nothing can arrive later.
+    SVELAT_ASSERT_MSG(from != rank_, "recv without matching send");
+    const std::int64_t left = deadline - now_ms();
+    if (left <= 0 || !drain_frame(from, static_cast<int>(left))) {
+      SVELAT_ASSERT_MSG(false, peer_eof_[static_cast<std::size_t>(from)]
+                                   ? "recv without matching send (peer exited)"
+                                   : "recv without matching send (timed out "
+                                     "waiting for peer)");
+    }
+  }
+}
+
+bool SocketCommunicator::has_pending(int to, int from, int tag) {
+  SVELAT_ASSERT_MSG(to == rank_, "a socket endpoint receives only at its own rank");
+  check_rank(from);
+  if (from != rank_) {
+    // Drain every frame that has COMPLETELY arrived from that peer.  A
+    // frame still in flight (header or payload partially written) is not
+    // pending yet and must not be committed to -- has_pending is
+    // documented non-blocking, so peek at the header and only drain when
+    // the kernel buffer already holds the whole frame.
+    const int fd = peer_fds_[static_cast<std::size_t>(from)];
+    while (!peer_eof_[static_cast<std::size_t>(from)] && wait_ready(fd, POLLIN, 0)) {
+      FrameHeader h;
+      const ssize_t p = ::recv(fd, &h, sizeof h, MSG_PEEK);
+      if (p == 0) {
+        peer_eof_[static_cast<std::size_t>(from)] = true;
+        break;
+      }
+      if (p < 0) {
+        if (errno == EINTR) continue;
+        break;  // EAGAIN: raced away; nothing complete
+      }
+      if (static_cast<std::size_t>(p) < sizeof h) break;  // header incomplete
+      int avail = 0;
+      if (::ioctl(fd, FIONREAD, &avail) != 0 ||
+          static_cast<std::uint64_t>(avail) < sizeof h + h.bytes)
+        break;  // payload incomplete
+      drain_frame(from, 0);  // whole frame buffered: cannot block
+    }
+  }
+  auto it = inbox_.find(Key{from, tag});
+  return it != inbox_.end() && !it->second.empty();
+}
+
+std::vector<std::vector<int>> make_socket_mesh(int nranks) {
+  SVELAT_ASSERT_MSG(nranks > 0, "need at least one rank");
+  std::vector<std::vector<int>> mesh(
+      static_cast<std::size_t>(nranks),
+      std::vector<int>(static_cast<std::size_t>(nranks), -1));
+  for (int i = 0; i < nranks; ++i) {
+    for (int j = i + 1; j < nranks; ++j) {
+      int sv[2];
+      SVELAT_ASSERT_MSG(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) == 0,
+                        "socketpair failed");
+      mesh[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] = sv[0];
+      mesh[static_cast<std::size_t>(j)][static_cast<std::size_t>(i)] = sv[1];
+    }
+  }
+  return mesh;
+}
+
+SocketWorld::SocketWorld(int nranks, int recv_timeout_ms) {
+  auto mesh = make_socket_mesh(nranks);
+  for (int r = 0; r < nranks; ++r)
+    comms_.push_back(std::make_unique<SocketCommunicator>(
+        nranks, r, std::move(mesh[static_cast<std::size_t>(r)]), recv_timeout_ms));
+}
+
+std::string LaunchReport::describe() const {
+  std::ostringstream os;
+  os << (ok ? "all ranks ok" : "rank failure:");
+  for (const RankExit& e : ranks) {
+    os << " [rank " << e.rank << ": ";
+    if (e.exited)
+      os << "exit " << e.exit_code;
+    else
+      os << "signal " << e.term_signal;
+    os << "]";
+  }
+  return os.str();
+}
+
+LaunchReport run_ranks(int nranks,
+                       const std::function<int(int, SocketCommunicator&)>& body,
+                       const LaunchOptions& options) {
+  auto mesh = make_socket_mesh(nranks);
+  std::vector<pid_t> pids;
+
+  for (int r = 0; r < nranks; ++r) {
+    std::fflush(nullptr);  // don't duplicate parent's buffered output into children
+    const pid_t pid = ::fork();
+    SVELAT_ASSERT_MSG(pid >= 0, "fork failed");
+    if (pid == 0) {
+      // Rank process.  The parent's OpenMP worker threads do not exist
+      // here; force every parallel construct onto the serial path before
+      // any lattice code runs.
+      set_force_serial(true);
+      if (!options.log_dir.empty()) {
+        const std::string path = options.log_dir + "/rank" + std::to_string(r) + ".log";
+        if (std::freopen(path.c_str(), "w", stdout) != nullptr)
+          ::dup2(::fileno(stdout), ::fileno(stderr));
+      }
+      for (int i = 0; i < nranks; ++i) {
+        if (i == r) continue;
+        for (int j = 0; j < nranks; ++j) {
+          const int fd = mesh[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
+          if (fd >= 0) ::close(fd);
+        }
+      }
+      int code = 1;
+      {
+        SocketCommunicator comm(nranks, r, std::move(mesh[static_cast<std::size_t>(r)]),
+                                options.recv_timeout_ms);
+        code = body(r, comm);
+      }
+      std::fflush(nullptr);
+      ::_exit(code & 0xff);  // no atexit / gtest teardown in rank processes
+    }
+    pids.push_back(pid);
+  }
+
+  // The parent holds no endpoint; close everything so rank hangups surface
+  // as EPIPE/EOF at the peers instead of idling in kernel buffers.
+  for (auto& row : mesh)
+    for (int fd : row)
+      if (fd >= 0) ::close(fd);
+
+  LaunchReport report;
+  report.ok = true;
+  for (int r = 0; r < nranks; ++r) {
+    int status = 0;
+    pid_t w;
+    do {
+      w = ::waitpid(pids[static_cast<std::size_t>(r)], &status, 0);
+    } while (w < 0 && errno == EINTR);
+    RankExit e;
+    e.rank = r;
+    if (w == pids[static_cast<std::size_t>(r)] && WIFEXITED(status)) {
+      e.exited = true;
+      e.exit_code = WEXITSTATUS(status);
+    } else if (w == pids[static_cast<std::size_t>(r)] && WIFSIGNALED(status)) {
+      e.term_signal = WTERMSIG(status);
+    }
+    if (!(e.exited && e.exit_code == 0)) report.ok = false;
+    report.ranks.push_back(e);
+  }
+  return report;
+}
+
+}  // namespace svelat::comms

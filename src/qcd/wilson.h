@@ -224,22 +224,29 @@ class WilsonDiracEO {
 };
 
 // ---------------------------------------------------------------------------
-// Cshift-based implementation: materializes all eight shifted neighbour
-// fields with lattice::Cshift, then does purely site-local work.  Same
-// SIMD arithmetic as WilsonDirac::dhop but without stencil tables or
-// fused neighbour fetch -- the design-choice ablation for the stencil
-// (extra field traffic + temporaries vs table lookups).
+// Shift-based implementation: materializes all eight shifted neighbour
+// fields through a caller-supplied shift functor, then does purely
+// site-local work.  Same SIMD arithmetic as WilsonDirac::dhop but without
+// stencil tables or fused neighbour fetch.  The functor is what makes the
+// hopping term transport-agnostic: lattice::Cshift gives the single-rank
+// ablation (dhop_via_cshift below), a halo-exchanging shift gives the
+// multi-rank operator (comms/distributed_dhop.h) with bitwise-identical
+// site arithmetic.
+//
+// Shift-call order per mu is part of the contract -- psi forward, psi
+// backward, gauge backward -- because distributed callers pre-post the
+// matching faces in exactly this sequence.
 // ---------------------------------------------------------------------------
-template <class S>
-void dhop_via_cshift(const GaugeField<S>& gauge, const LatticeFermion<S>& in,
-                     LatticeFermion<S>& out) {
+template <class S, class ShiftF>
+void dhop_via_shift(const GaugeField<S>& gauge, const LatticeFermion<S>& in,
+                    LatticeFermion<S>& out, ShiftF&& shift) {
   using namespace lattice;
   const GridCartesian* g = gauge.grid();
   thread_for(g->osites(), [&](std::int64_t o) { tensor::zeroit(out[o]); });
   for (int mu = 0; mu < Nd; ++mu) {
-    const LatticeFermion<S> psi_fwd = Cshift(in, mu, +1);
-    const LatticeFermion<S> psi_bwd = Cshift(in, mu, -1);
-    const LatticeColourMatrix<S> u_bwd = Cshift(gauge.U[mu], mu, -1);
+    const LatticeFermion<S> psi_fwd = shift(in, mu, +1);
+    const LatticeFermion<S> psi_bwd = shift(in, mu, -1);
+    const LatticeColourMatrix<S> u_bwd = shift(gauge.U[mu], mu, -1);
     thread_for(g->osites(), [&](std::int64_t o) {
       {
         HalfSpinColourVector<S> h = spin_project(mu, +1, psi_fwd[o]);
@@ -255,6 +262,16 @@ void dhop_via_cshift(const GaugeField<S>& gauge, const LatticeFermion<S>& in,
       }
     });
   }
+}
+
+/// The single-rank ablation: all eight neighbour fields via lattice::Cshift
+/// (extra field traffic + temporaries vs the stencil's table lookups).
+template <class S>
+void dhop_via_cshift(const GaugeField<S>& gauge, const LatticeFermion<S>& in,
+                     LatticeFermion<S>& out) {
+  dhop_via_shift(gauge, in, out, [](const auto& f, int mu, int disp) {
+    return lattice::Cshift(f, mu, disp);
+  });
 }
 
 // ---------------------------------------------------------------------------

@@ -73,6 +73,19 @@ inline bool in_parallel_region() {
 #endif
 }
 
+/// Process-wide serial override.  A child forked from a process whose
+/// OpenMP runtime already spawned a thread team must never enter another
+/// parallel region (libgomp is not fork-safe); the socket-transport rank
+/// launcher (comms/socket.h) sets this immediately after fork().  The
+/// deterministic-reduction invariant (1) below guarantees serial results
+/// are bitwise identical to threaded ones, so flipping this flag never
+/// changes a value.
+inline bool& force_serial() {
+  static bool flag = false;
+  return flag;
+}
+inline void set_force_serial(bool on) { force_serial() = on; }
+
 /// RAII: pin the team size for a scope (tests compare 1-thread vs
 /// N-thread runs bitwise).  No-op in the serial build.
 class ThreadCountGuard {
@@ -109,7 +122,7 @@ inline bool& in_worksharing() {
 /// tracer TLS is per thread and, unlike the counters, ordered output can't
 /// be merged after the fact) -- so traced loops run serially.
 inline bool must_serialize() {
-  return sve::detail::tracing() || max_threads() == 1;
+  return force_serial() || sve::detail::tracing() || max_threads() == 1;
 }
 
 /// RAII: on destruction, absorb the worker threads' SVE instruction-count

@@ -96,7 +96,8 @@ TEST_F(HaloTest, ExchangeF32HalvesBandwidth) {
   SimCommunicator comm(2);
   std::size_t wire = 0;
   const auto packed = pack_face(*field_, 1, 2);
-  const auto received = exchange_face(comm, *field_, 1, 2, Compression::kF32, 0, 1, &wire);
+  const auto received =
+      exchange_face(comm, *field_, 1, 2, Compression::kF32, 0, 1, &wire);
   EXPECT_EQ(wire, packed.size() * sizeof(float));
   for (std::size_t i = 0; i < packed.size(); ++i)
     EXPECT_EQ(received[i], static_cast<double>(static_cast<float>(packed[i]))) << i;
@@ -106,13 +107,15 @@ TEST_F(HaloTest, ExchangeF16QuartersBandwidth) {
   SimCommunicator comm(2);
   std::size_t wire = 0;
   const auto packed = pack_face(*field_, 2, 3);
-  const auto received = exchange_face(comm, *field_, 2, 3, Compression::kF16, 0, 1, &wire);
+  const auto received =
+      exchange_face(comm, *field_, 2, 3, Compression::kF16, 0, 1, &wire);
   EXPECT_EQ(wire, packed.size() * sizeof(half));
   EXPECT_EQ(wire * 4, packed.size() * sizeof(double));
   double max_rel = 0;
   for (std::size_t i = 0; i < packed.size(); ++i) {
     if (packed[i] != 0.0)
-      max_rel = std::max(max_rel, std::abs(received[i] - packed[i]) / std::abs(packed[i]));
+      max_rel =
+          std::max(max_rel, std::abs(received[i] - packed[i]) / std::abs(packed[i]));
   }
   // Gaussian data ~N(0,1): all values well inside f16 range, so the
   // relative error is bounded by the f16 epsilon.

@@ -84,8 +84,8 @@ TEST_P(PrecisionTest, F16RoundsNonRepresentable) {
     // Relative error bounded by half's epsilon.
     EXPECT_NEAR(out[i], in[i], std::abs(in[i]) * 0x1.0p-10) << i;
     // And matches the scalar half conversion exactly.
-    EXPECT_EQ(out[i], static_cast<double>(static_cast<float>(half(static_cast<float>(in[i])))))
-        << i;
+    const float roundtrip = static_cast<float>(half(static_cast<float>(in[i])));
+    EXPECT_EQ(out[i], static_cast<double>(roundtrip)) << i;
   }
 }
 

@@ -1,0 +1,312 @@
+// Rank-equivalence property suite: scatter -> halo-exchanged operator ->
+// gather must reproduce the single-rank operator, for every transport.
+//
+// The sweep covers lattice dims, split dimension, ranks in {1, 2, 3, 4}
+// and the compressed / uncompressed wire, against
+//   - the simulated transport (all ranks in one process, mailbox routing),
+//   - the socket transport with REAL OS processes (run_ranks forks one
+//     process per rank; each compares its own sub-lattice bitwise and the
+//     parent asserts every rank exited clean).
+// Uncompressed exchanges must match bitwise; fp16 / fp32 wires are held to
+// the respective epsilon at the rank boundary (acceptance criterion of the
+// distributed transport).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "comms/distributed.h"
+#include "comms/distributed_dhop.h"
+#include "comms/socket.h"
+#include "lattice/fill.h"
+#include "qcd/types.h"
+#include "sve/sve.h"
+
+namespace svelat::comms {
+namespace {
+
+using S = simd::SimdComplex<double, simd::kVLB256, simd::SveFcmla>;
+using vobj = qcd::SpinColourVector<S>;
+using Field = qcd::LatticeFermion<S>;
+
+constexpr unsigned kVL = 256;
+constexpr int kSeed = 1234;
+
+/// Relative-error ceilings: eps_f16 = 2^-11, eps_f32 = 2^-24; only the
+/// boundary slice is lossy, so the field-level relative error stays below
+/// one epsilon with margin.
+double error_bound(Compression mode) {
+  switch (mode) {
+    case Compression::kNone: return 0.0;
+    case Compression::kF32: return 0x1.0p-23;
+    case Compression::kF16: return 0x1.0p-10;
+  }
+  return 0.0;
+}
+
+lattice::Coordinate pick_layout(const lattice::Coordinate& dims, int split_dim) {
+  return split_simd_layout(dims, split_dim, S::Nsimd());
+}
+
+struct ShiftCase {
+  lattice::Coordinate dims;
+  int split_dim;
+  int ranks;
+  Compression mode;
+};
+
+std::vector<ShiftCase> shift_cases() {
+  return {
+      {{4, 4, 4, 8}, 3, 1, Compression::kNone},
+      {{4, 4, 4, 8}, 3, 2, Compression::kNone},
+      {{4, 4, 4, 8}, 3, 4, Compression::kNone},
+      {{4, 4, 4, 8}, 3, 2, Compression::kF16},
+      {{4, 4, 4, 8}, 3, 4, Compression::kF32},
+      {{8, 4, 4, 4}, 0, 2, Compression::kNone},
+      {{8, 4, 4, 4}, 0, 4, Compression::kF16},
+      {{4, 6, 4, 4}, 1, 3, Compression::kNone},
+      {{4, 6, 4, 4}, 1, 3, Compression::kF16},
+      {{4, 4, 8, 4}, 2, 4, Compression::kNone},
+      {{4, 4, 8, 4}, 2, 2, Compression::kF32},
+  };
+}
+
+std::string describe(const ShiftCase& c, int disp) {
+  std::string s = "dims={";
+  for (int d = 0; d < lattice::Nd; ++d)
+    s += std::to_string(c.dims[d]) + (d + 1 < lattice::Nd ? "," : "}");
+  return s + " split=" + std::to_string(c.split_dim) +
+         " ranks=" + std::to_string(c.ranks) + " wire=" + compression_name(c.mode) +
+         " disp=" + std::to_string(disp);
+}
+
+/// Compare a rank-local result against the matching sub-lattice of the
+/// single-rank result: bitwise for an uncompressed wire, else bounded
+/// relative error.  Returns 0 on success (usable as a rank exit code).
+int check_local(const Field& got, const Field& expect_local, Compression mode) {
+  const double diff = norm2(got - expect_local);
+  if (mode == Compression::kNone) return diff == 0.0 ? 0 : 1;
+  const double rel = std::sqrt(diff / norm2(expect_local));
+  return rel < error_bound(mode) ? 0 : 1;
+}
+
+/// The whole per-rank equivalence check, usable from both execution models:
+/// build the (deterministic) global field, scatter this rank's piece, run
+/// the halo-exchanged shift, compare against the single-rank Cshift.
+int shift_rank_body(const ShiftCase& c, int disp, int rank, Communicator& comm) {
+  sve::set_vector_length(kVL);
+  const RankDecomposition decomp(c.dims, c.split_dim, c.ranks,
+                                 pick_layout(c.dims, c.split_dim));
+  lattice::GridCartesian global_grid(c.dims, pick_layout(c.dims, c.split_dim));
+  Field global(&global_grid);
+  gaussian_fill(SiteRNG(kSeed), global);
+
+  const Field local = scatter_rank(decomp, global, rank);
+  Field shifted(decomp.grid(rank));
+  rank_cshift(decomp, comm, rank, local, shifted, disp, c.mode);
+
+  const Field expect = scatter_rank(decomp, lattice::Cshift(global, c.split_dim, disp),
+                                    rank);
+  return check_local(shifted, expect, c.mode);
+}
+
+TEST(RankEquivalenceSim, ShiftSweepMatchesSingleRank) {
+  sve::set_vector_length(kVL);
+  for (const ShiftCase& c : shift_cases()) {
+    const lattice::Coordinate layout = pick_layout(c.dims, c.split_dim);
+    const RankDecomposition decomp(c.dims, c.split_dim, c.ranks, layout);
+    lattice::GridCartesian global_grid(c.dims, layout);
+    Field global(&global_grid);
+    gaussian_fill(SiteRNG(kSeed), global);
+
+    SimCommunicator comm(c.ranks);
+    DistributedField<vobj> dist(decomp), shifted(decomp);
+    scatter(decomp, global, dist);
+    for (const int disp : {+1, -1}) {
+      distributed_cshift(decomp, comm, dist, shifted, disp, c.mode);
+      Field result(&global_grid);
+      result.set_zero();
+      gather(decomp, shifted, result);
+      const Field expect = lattice::Cshift(global, c.split_dim, disp);
+      if (c.mode == Compression::kNone) {
+        EXPECT_EQ(norm2(result - expect), 0.0) << describe(c, disp);
+      } else {
+        const double rel = std::sqrt(norm2(result - expect) / norm2(expect));
+        EXPECT_LT(rel, error_bound(c.mode)) << describe(c, disp);
+        EXPECT_GT(rel, 0.0) << describe(c, disp) << " (wire should be lossy)";
+      }
+    }
+  }
+}
+
+TEST(RankEquivalenceSim, PerRankDriverMatchesAllRanksDriver) {
+  // rank_cshift (the real-process entry point) against an in-process
+  // SocketWorld: same phases, same wire, one endpoint per rank.
+  sve::set_vector_length(kVL);
+  for (const ShiftCase& c : shift_cases()) {
+    SocketWorld world(c.ranks);
+    for (const int disp : {+1, -1}) {
+      // Post for every rank first (single-threaded schedule), then
+      // complete: mirrors what concurrent rank processes do in time.
+      const RankDecomposition decomp(c.dims, c.split_dim, c.ranks,
+                                     pick_layout(c.dims, c.split_dim));
+      lattice::GridCartesian global_grid(c.dims, pick_layout(c.dims, c.split_dim));
+      Field global(&global_grid);
+      gaussian_fill(SiteRNG(kSeed), global);
+      std::vector<Field> locals, shifted;
+      for (int r = 0; r < c.ranks; ++r) {
+        locals.push_back(scatter_rank(decomp, global, r));
+        shifted.emplace_back(decomp.grid(r));
+      }
+      const int tag = kShiftTagBase + c.split_dim;
+      for (int r = 0; r < c.ranks; ++r)
+        detail::post_shift_face(decomp, world.rank(r), r, locals[r], disp, c.mode,
+                                tag);
+      for (int r = 0; r < c.ranks; ++r)
+        detail::complete_shift(decomp, world.rank(r), r, locals[r], shifted[r], disp,
+                               c.mode, tag);
+      const Field global_shifted = lattice::Cshift(global, c.split_dim, disp);
+      for (int r = 0; r < c.ranks; ++r)
+        EXPECT_EQ(check_local(shifted[r], scatter_rank(decomp, global_shifted, r),
+                              c.mode),
+                  0)
+            << describe(c, disp) << " rank=" << r;
+    }
+  }
+}
+
+TEST(RankEquivalenceSocket, ShiftSweepMatchesSingleRankInRealProcesses) {
+  for (const ShiftCase& c : shift_cases()) {
+    for (const int disp : {+1, -1}) {
+      const LaunchReport report = run_ranks(
+          c.ranks,
+          [&](int rank, SocketCommunicator& comm) {
+            return shift_rank_body(c, disp, rank, comm);
+          });
+      EXPECT_TRUE(report.ok) << describe(c, disp) << ": " << report.describe();
+    }
+  }
+}
+
+TEST(RankEquivalenceSocket, RootScatterGatherRoundtripsOverTheWire) {
+  const lattice::Coordinate dims{4, 4, 4, 8};
+  for (const int ranks : {2, 4}) {
+    const LaunchReport report = run_ranks(ranks, [&](int rank,
+                                                     SocketCommunicator& comm) {
+      sve::set_vector_length(kVL);
+      const lattice::Coordinate layout = pick_layout(dims, 3);
+      const RankDecomposition decomp(dims, 3, ranks, layout);
+      lattice::GridCartesian global_grid(dims, layout);
+
+      Field global(&global_grid);
+      Field local(decomp.grid(rank));
+      if (rank == 0) gaussian_fill(SiteRNG(kSeed), global);
+      scatter_root(decomp, comm, rank, rank == 0 ? &global : nullptr, local);
+      // Every rank must now hold exactly its sub-lattice.
+      if (norm2(local - scatter_rank(decomp, [&] {
+                  Field g(&global_grid);
+                  gaussian_fill(SiteRNG(kSeed), g);
+                  return g;
+                }(), rank)) != 0.0)
+        return 2;
+
+      Field back(&global_grid);
+      back.set_zero();
+      gather_root(decomp, comm, rank, local, rank == 0 ? &back : nullptr);
+      if (rank == 0 && norm2(back - global) != 0.0) return 3;
+      return 0;
+    });
+    EXPECT_TRUE(report.ok) << "ranks=" << ranks << ": " << report.describe();
+  }
+}
+
+TEST(RankEquivalenceDhop, SimMatchesSingleRankBitwise) {
+  sve::set_vector_length(kVL);
+  const lattice::Coordinate dims{4, 4, 4, 8};
+  const int split = 3;
+  const lattice::Coordinate layout = pick_layout(dims, split);
+  lattice::GridCartesian global_grid(dims, layout);
+
+  qcd::GaugeField<S> gauge(&global_grid);
+  for (int mu = 0; mu < lattice::Nd; ++mu)
+    gaussian_fill(SiteRNG(500 + mu), gauge.U[static_cast<std::size_t>(mu)]);
+  Field psi(&global_grid);
+  gaussian_fill(SiteRNG(kSeed), psi);
+  Field expect(&global_grid);
+  qcd::dhop_via_cshift(gauge, psi, expect);
+
+  for (const int ranks : {1, 2, 4}) {
+    const RankDecomposition decomp(dims, split, ranks, layout);
+    SimCommunicator comm(ranks);
+    DistributedGauge<S> u(decomp);
+    scatter_gauge(decomp, gauge, u);
+    DistributedField<vobj> in(decomp), out(decomp);
+    scatter(decomp, psi, in);
+    distributed_dhop(decomp, comm, u, in, out);
+    Field result(&global_grid);
+    result.set_zero();
+    gather(decomp, out, result);
+    EXPECT_EQ(norm2(result - expect), 0.0) << "ranks=" << ranks;
+  }
+}
+
+TEST(RankEquivalenceDhop, SocketMatchesSingleRankBitwiseInRealProcesses) {
+  const lattice::Coordinate dims{4, 4, 4, 8};
+  const int split = 3;
+  for (const int ranks : {2, 4}) {
+    const LaunchReport report =
+        run_ranks(ranks, [&](int rank, SocketCommunicator& comm) {
+          sve::set_vector_length(kVL);
+          const lattice::Coordinate layout = pick_layout(dims, split);
+          const RankDecomposition decomp(dims, split, ranks, layout);
+          lattice::GridCartesian global_grid(dims, layout);
+
+          qcd::GaugeField<S> gauge(&global_grid);
+          for (int mu = 0; mu < lattice::Nd; ++mu)
+            gaussian_fill(SiteRNG(500 + mu), gauge.U[static_cast<std::size_t>(mu)]);
+          Field psi(&global_grid);
+          gaussian_fill(SiteRNG(kSeed), psi);
+
+          qcd::GaugeField<S> u_local(decomp.grid(rank));
+          for (int mu = 0; mu < lattice::Nd; ++mu)
+            u_local.U[static_cast<std::size_t>(mu)] =
+                scatter_rank(decomp, gauge.U[static_cast<std::size_t>(mu)], rank);
+          const Field in = scatter_rank(decomp, psi, rank);
+          Field out(decomp.grid(rank));
+          rank_dhop(decomp, comm, rank, u_local, in, out);
+
+          Field expect(&global_grid);
+          qcd::dhop_via_cshift(gauge, psi, expect);
+          return check_local(out, scatter_rank(decomp, expect, rank),
+                             Compression::kNone);
+        });
+    EXPECT_TRUE(report.ok) << "ranks=" << ranks << ": " << report.describe();
+  }
+}
+
+TEST(RankEquivalenceSocket, WireTrafficMatchesFaceSize) {
+  // Each rank sends exactly one face per shift; bytes_sent is per-endpoint
+  // on the socket transport (the simulated transport counts all ranks in
+  // one tally -- see test_distributed.cpp for that variant).
+  const lattice::Coordinate dims{4, 4, 4, 8};
+  const LaunchReport report = run_ranks(2, [&](int rank, SocketCommunicator& comm) {
+    sve::set_vector_length(kVL);
+    const lattice::Coordinate layout = pick_layout(dims, 3);
+    const RankDecomposition decomp(dims, 3, 2, layout);
+    lattice::GridCartesian global_grid(dims, layout);
+    Field global(&global_grid);
+    gaussian_fill(SiteRNG(kSeed), global);
+    const Field local = scatter_rank(decomp, global, rank);
+    Field shifted(decomp.grid(rank));
+    comm.reset_counters();
+    rank_cshift(decomp, comm, rank, local, shifted, +1);
+    // One 4^3 face of 12 complex = 24 doubles per site.
+    const std::size_t expected = 64u * 24u * sizeof(double);
+    return comm.bytes_sent() == expected ? 0 : 1;
+  });
+  EXPECT_TRUE(report.ok) << report.describe();
+}
+
+}  // namespace
+}  // namespace svelat::comms
