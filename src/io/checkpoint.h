@@ -1,0 +1,99 @@
+// Checkpoint / restart of a Metropolis Markov chain.
+//
+// A checkpoint is an ordinary SVGF gauge file whose metadata blob holds
+// the qcd::MarkovState (couplings, proposal knobs, RNG seed, sweeps
+// applied).  Because the chain's randomness is keyed, not sequenced
+// (qcd/metropolis.h), field + state is the *complete* updater state:
+//
+//   save_checkpoint(path, gauge, state);            // possibly exit here
+//   ...
+//   MarkovState state = load_checkpoint(path, gauge);
+//   qcd::advance(gauge, state, n);                  // == uninterrupted run
+//
+// resumes the ensemble bitwise-identically (tests/io/test_checkpoint.cpp).
+//
+// Meta-blob layout (inside the SVGF meta section, little-endian):
+//
+//   offset size field
+//        0    4 meta magic 0x434D5653 ("SVMC")
+//        4    4 meta version (1)
+//        8    8 beta     (binary64)
+//       16    8 epsilon  (binary64)
+//       24    4 hits_per_link (u32)
+//       28    8 seed     (u64)
+//       36    8 sweeps_done (i64 as u64)
+//
+// The blob is CRC-protected by the container (io/format.h), so decoding
+// only validates the magic/version and the length.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "io/gauge_io.h"
+#include "qcd/metropolis.h"
+
+namespace svelat::io {
+
+inline constexpr std::uint32_t kMarkovMetaMagic = 0x434D5653u;  // "SVMC" on disk
+inline constexpr std::uint32_t kMarkovMetaVersion = 1;
+inline constexpr std::size_t kMarkovMetaBytes = 44;
+
+inline std::vector<std::uint8_t> encode_markov_meta(const qcd::MarkovState& state) {
+  std::vector<std::uint8_t> meta;
+  meta.reserve(kMarkovMetaBytes);
+  put_u32(meta, kMarkovMetaMagic);
+  put_u32(meta, kMarkovMetaVersion);
+  put_f64(meta, state.params.beta);
+  put_f64(meta, state.params.epsilon);
+  put_u32(meta, static_cast<std::uint32_t>(state.params.hits_per_link));
+  put_u64(meta, state.params.seed);
+  put_u64(meta, static_cast<std::uint64_t>(state.sweeps_done));
+  return meta;
+}
+
+inline qcd::MarkovState decode_markov_meta(const std::vector<std::uint8_t>& meta) {
+  if (meta.size() != kMarkovMetaBytes)
+    throw IoError(IoErrorCode::kMismatch,
+                  "metadata blob has " + std::to_string(meta.size()) +
+                      " bytes, a Markov checkpoint has " +
+                      std::to_string(kMarkovMetaBytes) +
+                      " (file is a gauge configuration without updater state?)");
+  std::size_t off = 0;
+  const std::uint32_t magic =
+      get_u32(meta, off, IoErrorCode::kMismatch, "markov meta magic");
+  if (magic != kMarkovMetaMagic)
+    throw IoError(IoErrorCode::kMismatch,
+                  "metadata blob is not a Markov checkpoint (magic mismatch)");
+  const std::uint32_t version =
+      get_u32(meta, off, IoErrorCode::kBadVersion, "markov meta version");
+  if (version != kMarkovMetaVersion)
+    throw IoError(IoErrorCode::kBadVersion,
+                  "Markov checkpoint meta is version " + std::to_string(version) +
+                      ", this reader understands version " +
+                      std::to_string(kMarkovMetaVersion) + " only");
+  qcd::MarkovState state;
+  state.params.beta = get_f64(meta, off, IoErrorCode::kMismatch, "beta");
+  state.params.epsilon = get_f64(meta, off, IoErrorCode::kMismatch, "epsilon");
+  state.params.hits_per_link =
+      static_cast<int>(get_u32(meta, off, IoErrorCode::kMismatch, "hits"));
+  state.params.seed = get_u64(meta, off, IoErrorCode::kMismatch, "seed");
+  state.sweeps_done = static_cast<std::int64_t>(
+      get_u64(meta, off, IoErrorCode::kMismatch, "sweeps_done"));
+  return state;
+}
+
+/// Write gauge field + chain state as one checkpoint file.
+template <class S>
+void save_checkpoint(const std::string& path, const qcd::GaugeField<S>& g,
+                     const qcd::MarkovState& state) {
+  save_gauge(path, g, encode_markov_meta(state));
+}
+
+/// Load a checkpoint: fills `g` and returns the chain state to resume from.
+template <class S>
+qcd::MarkovState load_checkpoint(const std::string& path, qcd::GaugeField<S>& g) {
+  return decode_markov_meta(load_gauge(path, g));
+}
+
+}  // namespace svelat::io

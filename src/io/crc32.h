@@ -1,0 +1,19 @@
+// CRC-32 (ISO-HDLC / zlib): the checksum of the on-disk format.
+//
+// Standard reflected polynomial 0xEDB88320, initial value 0xFFFFFFFF,
+// final XOR 0xFFFFFFFF -- byte-identical to zlib's crc32() and to the
+// checksums Qlattice stores next to its field files, so externally
+// written checkers agree.  Incremental: crc32(b, crc32(a)) over the
+// concatenation a||b equals crc32(a||b).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace svelat::io {
+
+/// CRC-32 of `n` bytes, chained from a previous value (pass the default
+/// 0 for a fresh checksum -- zlib semantics).
+std::uint32_t crc32(const void* data, std::size_t n, std::uint32_t seed = 0);
+
+}  // namespace svelat::io

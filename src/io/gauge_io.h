@@ -1,0 +1,113 @@
+// Save / load a gauge configuration as one SVGF file (io/format.h).
+//
+// The payload reuses the comms wire marshalling: plane (mu, s) is exactly
+// pack_face(g.U[mu], /*dim=*/0, s) -- complex components in lexicographic
+// site order -- and a link field is reassembled with unpack_field.  The
+// on-disk bytes are therefore independent of the SIMD layout that held
+// the field in memory: a file written from a VL=512 run loads bitwise
+// identically into a VL=128 grid.
+//
+// Version-1 files carry binary64 payloads and require double-precision
+// fields; adding an fp32 payload is a format version bump (docs/FORMAT.md).
+#pragma once
+
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "comms/distributed.h"
+#include "io/format.h"
+#include "qcd/types.h"
+
+namespace svelat::io {
+
+/// Header describing the gauge field `g` (meta length filled by caller).
+template <class S>
+FieldFileHeader gauge_header(const qcd::GaugeField<S>& g, std::size_t meta_bytes) {
+  static_assert(std::is_same_v<typename S::real_type, double>,
+                "SVGF version 1 stores binary64; saving fp32 gauge fields needs a "
+                "format version bump");
+  FieldFileHeader h;
+  h.precision_bits = 64;
+  h.field_kind = kFieldKindGauge;
+  h.dims = g.grid()->fdimensions();
+  h.nfields = lattice::Nd;
+  h.site_doubles = qcd::Nc * qcd::Nc * 2;
+  h.meta_bytes = static_cast<std::uint32_t>(meta_bytes);
+  return h;
+}
+
+/// Cut a gauge field into SVGF planes (field-major, then slice along x0).
+template <class S>
+std::vector<std::vector<double>> gauge_planes(const qcd::GaugeField<S>& g) {
+  const lattice::Coordinate dims = g.grid()->fdimensions();
+  std::vector<std::vector<double>> planes;
+  planes.reserve(static_cast<std::size_t>(lattice::Nd) *
+                 static_cast<std::size_t>(dims[0]));
+  for (int mu = 0; mu < lattice::Nd; ++mu)
+    for (int s = 0; s < dims[0]; ++s)
+      planes.push_back(comms::pack_face(g.U[mu], /*mu=*/0, s));
+  return planes;
+}
+
+/// Serialize a gauge field (plus an opaque metadata blob) to SVGF bytes.
+template <class S>
+std::vector<std::uint8_t> encode_gauge(const qcd::GaugeField<S>& g,
+                                       const std::vector<std::uint8_t>& meta = {}) {
+  return encode_field_file(gauge_header(g, meta.size()), meta, gauge_planes(g));
+}
+
+/// Validate a decoded file against the destination gauge field's grid.
+template <class S>
+void check_gauge_fits(const FieldFile& file, const qcd::GaugeField<S>& g) {
+  const FieldFileHeader expect = gauge_header(g, file.header.meta_bytes);
+  if (file.header.field_kind != expect.field_kind)
+    throw IoError(IoErrorCode::kMismatch,
+                  "file holds field kind " + std::to_string(file.header.field_kind) +
+                      ", destination is a gauge field (kind " +
+                      std::to_string(expect.field_kind) + ")");
+  if (file.header.dims != expect.dims)
+    throw IoError(IoErrorCode::kMismatch,
+                  "file holds a " + lattice::to_string(file.header.dims) +
+                      " lattice, destination grid is " + lattice::to_string(expect.dims));
+  if (file.header.precision_bits != expect.precision_bits ||
+      file.header.nfields != expect.nfields ||
+      file.header.site_doubles != expect.site_doubles)
+    throw IoError(IoErrorCode::kMismatch,
+                  "file layout (precision/nfields/site_doubles) does not describe an "
+                  "SU(3) gauge configuration");
+}
+
+/// Fill `g` from a decoded-and-validated file.
+template <class S>
+void gauge_from_file(const FieldFile& file, qcd::GaugeField<S>& g) {
+  check_gauge_fits(file, g);
+  const lattice::Coordinate dims = g.grid()->fdimensions();
+  const std::size_t slices = static_cast<std::size_t>(dims[0]);
+  for (int mu = 0; mu < lattice::Nd; ++mu) {
+    std::vector<double> flat;
+    flat.reserve(slices * file.header.plane_doubles());
+    for (std::size_t s = 0; s < slices; ++s) {
+      const auto& plane = file.planes[static_cast<std::size_t>(mu) * slices + s];
+      flat.insert(flat.end(), plane.begin(), plane.end());
+    }
+    comms::unpack_field(flat, g.U[mu]);
+  }
+}
+
+/// Write `g` to `path` as one SVGF file.
+template <class S>
+void save_gauge(const std::string& path, const qcd::GaugeField<S>& g,
+                const std::vector<std::uint8_t>& meta = {}) {
+  write_file_bytes(path, encode_gauge(g, meta));
+}
+
+/// Load `path` into `g` (grid dims must match); returns the metadata blob.
+template <class S>
+std::vector<std::uint8_t> load_gauge(const std::string& path, qcd::GaugeField<S>& g) {
+  FieldFile file = read_field_file(path);
+  gauge_from_file(file, g);
+  return std::move(file.meta);
+}
+
+}  // namespace svelat::io

@@ -60,10 +60,12 @@ ScalarColourMatrix staple_sum(const GaugeField<S>& g, const lattice::Coordinate&
 }
 
 struct MetropolisParams {
-  double beta = 5.7;     ///< gauge coupling
-  double epsilon = 0.3;  ///< proposal step size
-  int hits_per_link = 4; ///< Metropolis hits per link per sweep
+  double beta = 5.7;      ///< gauge coupling
+  double epsilon = 0.3;   ///< proposal step size
+  int hits_per_link = 4;  ///< Metropolis hits per link per sweep
   std::uint64_t seed = 1;
+
+  friend bool operator==(const MetropolisParams&, const MetropolisParams&) = default;
 };
 
 struct SweepStats {
@@ -144,6 +146,30 @@ SweepStats metropolis_sweep(GaugeField<S>& g, const MetropolisParams& params,
   }
   SweepStats stats;
   stats.acceptance = static_cast<double>(accepted) / static_cast<double>(proposed);
+  return stats;
+}
+
+/// Position of a Markov chain: its parameters plus how many sweeps have
+/// been applied.  Because every draw is a pure function of
+/// (seed, sweep, site, link, hit), this pair of numbers -- together with
+/// the gauge field itself -- IS the full updater state: checkpointing a
+/// chain (io/checkpoint.h) stores the field and this struct, and resuming
+/// replays the identical sweep numbers the uninterrupted run would have
+/// used, bitwise.
+struct MarkovState {
+  MetropolisParams params;
+  std::int64_t sweeps_done = 0;  ///< sweeps applied so far; next sweep number
+};
+
+/// Advance the chain by `nsweeps` sweeps, numbering them consecutively
+/// from state.sweeps_done.  Returns the stats of the last sweep.
+template <class S>
+SweepStats advance(GaugeField<S>& g, MarkovState& state, int nsweeps) {
+  SweepStats stats;
+  for (int i = 0; i < nsweeps; ++i) {
+    stats = metropolis_sweep(g, state.params, static_cast<int>(state.sweeps_done));
+    ++state.sweeps_done;
+  }
   return stats;
 }
 

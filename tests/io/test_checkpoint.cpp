@@ -1,0 +1,107 @@
+// Checkpoint / restart tests: a Metropolis chain resumed from disk must
+// continue bitwise-identically to the uninterrupted run.
+#include "io/checkpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "qcd/plaquette.h"
+#include "sve/sve.h"
+
+namespace svelat::io {
+namespace {
+
+using S = simd::SimdComplex<double, simd::kVLB256, simd::SveFcmla>;
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "svelat_ckpt_" + name;
+}
+
+class CheckpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    sve::set_vector_length(256);
+    grid_ = std::make_unique<lattice::GridCartesian>(
+        lattice::Coordinate{4, 4, 4, 4},
+        lattice::GridCartesian::default_simd_layout(S::Nsimd()));
+  }
+  std::unique_ptr<lattice::GridCartesian> grid_;
+};
+
+TEST_F(CheckpointTest, MarkovMetaRoundTrip) {
+  qcd::MarkovState state;
+  state.params.beta = 5.95;
+  state.params.epsilon = 0.21;
+  state.params.hits_per_link = 7;
+  state.params.seed = 0xDEADBEEFCAFEull;
+  state.sweeps_done = 123;
+  const qcd::MarkovState back = decode_markov_meta(encode_markov_meta(state));
+  EXPECT_EQ(back.params, state.params);
+  EXPECT_EQ(back.sweeps_done, state.sweeps_done);
+}
+
+TEST_F(CheckpointTest, ResumedChainIsBitwiseIdenticalToUninterrupted) {
+  qcd::MarkovState state;
+  state.params.beta = 5.7;
+  state.params.epsilon = 0.24;
+  state.params.seed = 11;
+
+  // Uninterrupted reference: 4 sweeps straight through.
+  qcd::GaugeField<S> reference(grid_.get());
+  qcd::random_gauge(SiteRNG(8), reference);
+  qcd::MarkovState ref_state = state;
+  qcd::advance(reference, ref_state, 4);
+
+  // Interrupted run: 2 sweeps, checkpoint, "process exit", reload, 2 more.
+  const std::string path = temp_path("resume.svgf");
+  {
+    qcd::GaugeField<S> g(grid_.get());
+    qcd::random_gauge(SiteRNG(8), g);
+    qcd::MarkovState s = state;
+    qcd::advance(g, s, 2);
+    save_checkpoint(path, g, s);
+  }
+  qcd::GaugeField<S> resumed(grid_.get());
+  qcd::MarkovState restored = load_checkpoint(path, resumed);
+  EXPECT_EQ(restored.sweeps_done, 2);
+  EXPECT_EQ(restored.params, state.params);
+  qcd::advance(resumed, restored, 2);
+
+  EXPECT_EQ(restored.sweeps_done, ref_state.sweeps_done);
+  EXPECT_EQ(encode_gauge(resumed), encode_gauge(reference));
+  EXPECT_EQ(qcd::average_plaquette(resumed), qcd::average_plaquette(reference));
+  std::remove(path.c_str());
+}
+
+TEST_F(CheckpointTest, PlainGaugeFileIsNotACheckpoint) {
+  const std::string path = temp_path("plain.svgf");
+  qcd::GaugeField<S> g(grid_.get());
+  qcd::random_gauge(SiteRNG(3), g);
+  save_gauge(path, g);  // no updater state attached
+  try {
+    load_checkpoint(path, g);
+    FAIL() << "expected IoError";
+  } catch (const IoError& e) {
+    EXPECT_EQ(e.code(), IoErrorCode::kMismatch);
+    EXPECT_NE(std::string(e.what()).find("checkpoint"), std::string::npos);
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(CheckpointTest, ForeignMetaIsNotACheckpoint) {
+  const std::string path = temp_path("foreign.svgf");
+  qcd::GaugeField<S> g(grid_.get());
+  qcd::random_gauge(SiteRNG(3), g);
+  save_gauge(path, g, std::vector<std::uint8_t>(kMarkovMetaBytes, 0x5A));
+  try {
+    load_checkpoint(path, g);
+    FAIL() << "expected IoError";
+  } catch (const IoError& e) {
+    EXPECT_EQ(e.code(), IoErrorCode::kMismatch);
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace svelat::io
