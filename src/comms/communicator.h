@@ -3,7 +3,7 @@
 // The paper's Grid runs distribute sub-lattices over MPI ranks (Sec. II-A).
 // This reproduction keeps the pack -> (compress) -> send -> recv ->
 // (decompress) -> unpack path transport-agnostic behind one small
-// interface; two implementations exist:
+// interface; three implementations exist:
 //
 //   SimCommunicator     (below)          -- hosts all R logical ranks in one
 //                                           process, routing messages through
@@ -15,25 +15,47 @@
 //                                           sockets with a thin framing
 //                                           protocol.  The real multi-process
 //                                           transport (no MPI dependency).
+//   FaultyCommunicator  (comms/faults.h) -- decorator injecting a seeded,
+//                                           deterministic fault schedule
+//                                           (delays, torn frames, spurious
+//                                           EOFs, rank crashes) into any of
+//                                           the above; the test substrate of
+//                                           the fault-tolerance layer.
+//
+// The interface is a three-level ladder (failure contract: docs/FAULTS.md):
+//
+//   try_send / try_recv    one attempt, returns CommStatus, never throws.
+//                          What implementations override.
+//   send_status /          bounded retry-with-backoff over the transient
+//   recv_status            statuses (RetryPolicy), returns the final
+//                          CommStatus, never throws.
+//   send / recv            the call-site API: retried as above, then throws
+//                          CommError (or aborts, iff the policy says so --
+//                          the configurable last resort) on failure.
 //
 // Semantics every implementation must provide (enforced by the conformance
 // suite in tests/comms/test_communicator_conformance.cpp):
 //   - messages on the same (from, to, tag) channel arrive in FIFO order;
 //   - distinct tags multiplex independently over the same rank pair;
 //   - self-sends (from == to) are legal and loop back locally;
-//   - bytes_sent() counts payload bytes of every send issued through this
-//     object (the wire framing overhead is not charged);
-//   - recv() of a message that was never sent is a programming error and
-//     aborts (after a timeout, for transports that must wait on a peer).
+//   - bytes_sent() counts payload bytes of every successful send issued
+//     through this object (wire framing overhead is not charged);
+//   - recv() of a message that was never sent fails with a typed
+//     CommStatus -- kNoMessage where that is detectable instantly,
+//     kTimeout where the transport must wait on a peer.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <deque>
 #include <map>
+#include <string>
 #include <tuple>
 #include <vector>
 
+#include "comms/comm_error.h"
 #include "support/assert.h"
 
 namespace svelat::comms {
@@ -45,28 +67,110 @@ class Communicator {
   /// Number of ranks in the world.
   virtual int size() const = 0;
 
-  /// Post a message from `from` to `to` with a user tag.
-  virtual void send(int from, int to, int tag, std::vector<std::uint8_t> payload) = 0;
+  /// One attempt to post a message from `from` to `to` with a user tag.
+  /// Returns kOk (payload committed) or a typed failure; never throws.
+  virtual CommStatus try_send(int from, int to, int tag,
+                              const std::vector<std::uint8_t>& payload) = 0;
 
-  /// Receive the oldest message matching (from, tag) addressed to `to`;
-  /// aborts if no matching send exists (possibly after a transport-defined
-  /// timeout).
-  virtual std::vector<std::uint8_t> recv(int to, int from, int tag) = 0;
+  /// One attempt to receive the oldest message matching (from, tag)
+  /// addressed to `to` into `out`.  A transport that must wait on a peer
+  /// bounds the attempt by its own timeout and reports kTimeout; an
+  /// in-process transport reports kNoMessage instantly.  Never throws.
+  virtual CommStatus try_recv(int to, int from, int tag,
+                              std::vector<std::uint8_t>& out) = 0;
 
   /// True when a matching message has already arrived (non-blocking; may
   /// poll the transport, hence non-const).
   virtual bool has_pending(int to, int from, int tag) = 0;
 
-  /// Total payload bytes sent through this object since construction /
-  /// reset_counters().
+  /// Total payload bytes successfully sent through this object since
+  /// construction / reset_counters().
   virtual std::size_t bytes_sent() const = 0;
   virtual void reset_counters() = 0;
+
+  // --- retrying, status-returning layer --------------------------------------
+
+  /// try_send with the retry policy applied to transient statuses.
+  CommStatus send_status(int from, int to, int tag,
+                         const std::vector<std::uint8_t>& payload) {
+    return with_retries([&] { return try_send(from, to, tag, payload); });
+  }
+
+  /// try_recv with the retry policy applied to transient statuses.
+  CommStatus recv_status(int to, int from, int tag, std::vector<std::uint8_t>& out) {
+    return with_retries([&] { return try_recv(to, from, tag, out); });
+  }
+
+  // --- throwing call-site layer ----------------------------------------------
+
+  /// Post a message; retries transient failures, then throws CommError
+  /// (or aborts, iff retry_policy().abort_on_failure) on failure.
+  void send(int from, int to, int tag, std::vector<std::uint8_t> payload) {
+    const CommStatus st = send_status(from, to, tag, payload);
+    if (st != CommStatus::kOk)
+      fail(st, "send " + channel_string(from, to, tag) + " failed");
+  }
+
+  /// Receive a message; retries transient failures, then throws CommError
+  /// (or aborts, iff retry_policy().abort_on_failure) on failure.
+  std::vector<std::uint8_t> recv(int to, int from, int tag) {
+    std::vector<std::uint8_t> out;
+    const CommStatus st = recv_status(to, from, tag, out);
+    if (st != CommStatus::kOk)
+      fail(st, "recv " + channel_string(from, to, tag) + " failed");
+    return out;
+  }
+
+  // --- retry policy ----------------------------------------------------------
+
+  const RetryPolicy& retry_policy() const { return policy_; }
+  void set_retry_policy(const RetryPolicy& p) { policy_ = p; }
+
+  /// Transient retries performed by send_status/recv_status so far.
+  std::size_t retries() const { return retries_; }
+
+ protected:
+  template <class Attempt>
+  CommStatus with_retries(const Attempt& attempt) {
+    int backoff = policy_.backoff_ms;
+    CommStatus st = CommStatus::kOk;
+    const int attempts = policy_.max_attempts < 1 ? 1 : policy_.max_attempts;
+    for (int a = 0; a < attempts; ++a) {
+      if (a > 0) {
+        ++retries_;
+        comm_backoff_sleep(backoff);
+        backoff = backoff * 2 > policy_.max_backoff_ms ? policy_.max_backoff_ms
+                                                       : backoff * 2;
+      }
+      st = attempt();
+      if (!comm_status_transient(st)) return st;  // kOk or final failure
+    }
+    return st;  // transient class exhausted its attempts
+  }
+
+  [[noreturn]] void fail(CommStatus st, const std::string& detail) const {
+    if (policy_.abort_on_failure) {
+      std::fprintf(stderr, "svelat comm [%s]: %s (abort_on_failure set)\n",
+                   comm_status_name(st), detail.c_str());
+      std::abort();
+    }
+    throw CommError(st, detail);
+  }
+
+  static std::string channel_string(int from, int to, int tag) {
+    return "(from " + std::to_string(from) + " to " + std::to_string(to) + " tag " +
+           std::to_string(tag) + ")";
+  }
+
+ private:
+  RetryPolicy policy_;
+  std::size_t retries_ = 0;
 };
 
 /// In-process transport: R logical ranks share one object, messages live in
 /// per-(from, to, tag) mailboxes.  Single-threaded deterministic schedule --
-/// a recv must follow its send, so recv of a missing message aborts
-/// immediately instead of blocking.
+/// a recv must follow its send, so recv of a missing message reports
+/// kNoMessage immediately instead of blocking.
 class SimCommunicator final : public Communicator {
  public:
   explicit SimCommunicator(int nranks) : nranks_(nranks) {
@@ -75,23 +179,24 @@ class SimCommunicator final : public Communicator {
 
   int size() const override { return nranks_; }
 
-  void send(int from, int to, int tag, std::vector<std::uint8_t> payload) override {
+  CommStatus try_send(int from, int to, int tag,
+                      const std::vector<std::uint8_t>& payload) override {
     check_rank(from);
     check_rank(to);
-    const std::size_t bytes = payload.size();  // before the move empties it
-    mailboxes_[key(from, to, tag)].push_back(std::move(payload));
-    bytes_sent_ += bytes;
+    mailboxes_[key(from, to, tag)].push_back(payload);
+    bytes_sent_ += payload.size();
+    return CommStatus::kOk;
   }
 
-  std::vector<std::uint8_t> recv(int to, int from, int tag) override {
+  CommStatus try_recv(int to, int from, int tag,
+                      std::vector<std::uint8_t>& out) override {
     check_rank(from);
     check_rank(to);
     auto it = mailboxes_.find(key(from, to, tag));
-    SVELAT_ASSERT_MSG(it != mailboxes_.end() && !it->second.empty(),
-                      "recv without matching send");
-    std::vector<std::uint8_t> payload = std::move(it->second.front());
+    if (it == mailboxes_.end() || it->second.empty()) return CommStatus::kNoMessage;
+    out = std::move(it->second.front());
     it->second.pop_front();
-    return payload;
+    return CommStatus::kOk;
   }
 
   bool has_pending(int to, int from, int tag) override {

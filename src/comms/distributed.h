@@ -272,27 +272,46 @@ void gather_root(const RankDecomposition& decomp, Communicator& comm, int rank,
 namespace detail {
 
 /// Phase 1 of the shifted exchange: rank `rank` posts the boundary face the
-/// neighbour needs.
+/// neighbour needs.  Typed-status form: retries transients per the
+/// communicator's policy and returns the final CommStatus, never throws.
 ///   disp=+1: result(x_mu = L-1) = f(rank+1, x_mu = 0)   -> face 0 goes back.
 ///   disp=-1: result(x_mu = 0)   = f(rank-1, x_mu = L-1) -> face L-1 forward.
 template <class vobj>
-void post_shift_face(const RankDecomposition& decomp, Communicator& comm, int rank,
-                     const lattice::Lattice<vobj>& local_in, int disp,
-                     Compression mode, int tag) {
+CommStatus try_post_shift_face(const RankDecomposition& decomp, Communicator& comm,
+                               int rank, const lattice::Lattice<vobj>& local_in,
+                               int disp, Compression mode, int tag) {
   const int mu = decomp.split_dim();
   const int R = decomp.ranks();
   const int dest = (disp == 1) ? (rank - 1 + R) % R : (rank + 1) % R;
   const int slice = (disp == 1) ? 0 : decomp.local_dims()[mu] - 1;
-  comm.send(rank, dest, tag, compress(pack_face(local_in, mu, slice), mode));
+  return comm.send_status(rank, dest, tag,
+                          compress(pack_face(local_in, mu, slice), mode));
 }
 
-/// Phase 2: local shift everywhere, then overwrite the rank-boundary slice
-/// with the neighbouring rank's face received through the communicator.
+/// Throwing wrapper around try_post_shift_face (the historical API): a
+/// failure that survives the retry policy becomes a CommError naming the
+/// shift phase.
 template <class vobj>
-void complete_shift(const RankDecomposition& decomp, Communicator& comm, int rank,
-                    const lattice::Lattice<vobj>& local_in,
-                    lattice::Lattice<vobj>& local_out, int disp, Compression mode,
-                    int tag) {
+void post_shift_face(const RankDecomposition& decomp, Communicator& comm, int rank,
+                     const lattice::Lattice<vobj>& local_in, int disp,
+                     Compression mode, int tag) {
+  const CommStatus st =
+      try_post_shift_face(decomp, comm, rank, local_in, disp, mode, tag);
+  if (st != CommStatus::kOk)
+    throw CommError(st, "shift face post failed (rank " + std::to_string(rank) +
+                            " disp " + std::to_string(disp) + " tag " +
+                            std::to_string(tag) + ")");
+}
+
+/// Phase 2, typed-status form: local shift everywhere, then overwrite the
+/// rank-boundary slice with the neighbouring rank's face.  On a non-kOk
+/// status `local_out` holds the locally shifted field with a WRAPPED (not
+/// exchanged) boundary -- callers must not use it.
+template <class vobj>
+CommStatus try_complete_shift(const RankDecomposition& decomp, Communicator& comm,
+                              int rank, const lattice::Lattice<vobj>& local_in,
+                              lattice::Lattice<vobj>& local_out, int disp,
+                              Compression mode, int tag) {
   const int mu = decomp.split_dim();
   const int R = decomp.ranks();
   const int l_mu = decomp.local_dims()[mu];
@@ -300,7 +319,10 @@ void complete_shift(const RankDecomposition& decomp, Communicator& comm, int ran
   local_out = lattice::Cshift(local_in, mu, disp);  // interior correct; edge wrapped
 
   const int from = (disp == 1) ? (rank + 1) % R : (rank - 1 + R) % R;
-  const auto wire = comm.recv(rank, from, tag);
+  std::vector<std::uint8_t> wire;
+  if (const CommStatus st = comm.recv_status(rank, from, tag, wire);
+      st != CommStatus::kOk)
+    return st;
   const lattice::GridCartesian* g = decomp.grid(rank);
   const lattice::Coordinate dims = g->fdimensions();
   const std::size_t face_doubles =
@@ -318,6 +340,21 @@ void complete_shift(const RankDecomposition& decomp, Communicator& comm, int ran
         face_coor(mu, edge, a, b, c, x);
         local_out.poke(x, sites[idx++]);
       }
+  return CommStatus::kOk;
+}
+
+/// Throwing wrapper around try_complete_shift (the historical API).
+template <class vobj>
+void complete_shift(const RankDecomposition& decomp, Communicator& comm, int rank,
+                    const lattice::Lattice<vobj>& local_in,
+                    lattice::Lattice<vobj>& local_out, int disp, Compression mode,
+                    int tag) {
+  const CommStatus st = try_complete_shift(decomp, comm, rank, local_in, local_out,
+                                           disp, mode, tag);
+  if (st != CommStatus::kOk)
+    throw CommError(st, "shift face recv failed (rank " + std::to_string(rank) +
+                            " disp " + std::to_string(disp) + " tag " +
+                            std::to_string(tag) + ")");
 }
 
 }  // namespace detail

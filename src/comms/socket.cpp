@@ -11,6 +11,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <exception>
 #include <sstream>
 
 #include "support/parallel.h"
@@ -64,7 +65,7 @@ SocketCommunicator::SocketCommunicator(int nranks, int my_rank,
       rank_(my_rank),
       recv_timeout_ms_(recv_timeout_ms),
       peer_fds_(std::move(peer_fds)),
-      peer_eof_(static_cast<std::size_t>(nranks), false) {
+      peer_status_(static_cast<std::size_t>(nranks), CommStatus::kOk) {
   SVELAT_ASSERT_MSG(nranks > 0, "need at least one rank");
   check_rank(my_rank);
   SVELAT_ASSERT_MSG(static_cast<int>(peer_fds_.size()) == nranks,
@@ -83,26 +84,41 @@ SocketCommunicator::~SocketCommunicator() {
   }
 }
 
-void SocketCommunicator::send(int from, int to, int tag,
-                              std::vector<std::uint8_t> payload) {
+CommStatus SocketCommunicator::try_send(int from, int to, int tag,
+                                        const std::vector<std::uint8_t>& payload) {
   SVELAT_ASSERT_MSG(from == rank_, "a socket endpoint sends only from its own rank");
   check_rank(to);
-  bytes_sent_ += payload.size();
   if (to == rank_) {  // loop back locally, no wire involved
-    inbox_[Key{rank_, tag}].push_back(std::move(payload));
-    return;
+    inbox_[Key{rank_, tag}].push_back(payload);
+    bytes_sent_ += payload.size();
+    return CommStatus::kOk;
   }
+  if (const CommStatus st = peer_state(to); st != CommStatus::kOk) return st;
   FrameHeader h;
   h.magic = kMagic;
   h.from = from;
   h.to = to;
   h.tag = tag;
   h.bytes = payload.size();
-  write_all(to, &h, sizeof h);
-  write_all(to, payload.data(), payload.size());
+  if (const CommStatus st = write_all(to, &h, sizeof h); st != CommStatus::kOk) {
+    // A header that timed out before its first byte left nothing on the
+    // wire; anything else desynchronized the stream for good.
+    if (st != CommStatus::kTimeout) peer_status_[static_cast<std::size_t>(to)] = st;
+    return st;
+  }
+  if (const CommStatus st = write_all(to, payload.data(), payload.size());
+      st != CommStatus::kOk) {
+    // The header is committed: the channel is torn regardless of class.
+    const CommStatus verdict =
+        st == CommStatus::kTimeout ? CommStatus::kTornFrame : st;
+    peer_status_[static_cast<std::size_t>(to)] = verdict;
+    return verdict;
+  }
+  bytes_sent_ += payload.size();
+  return CommStatus::kOk;
 }
 
-void SocketCommunicator::write_all(int to, const void* data, std::size_t n) {
+CommStatus SocketCommunicator::write_all(int to, const void* data, std::size_t n) {
   const int fd = peer_fds_[static_cast<std::size_t>(to)];
   const auto* p = static_cast<const std::uint8_t*>(data);
   const std::int64_t deadline = now_ms() + recv_timeout_ms_;
@@ -117,26 +133,32 @@ void SocketCommunicator::write_all(int to, const void* data, std::size_t n) {
     if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
       // Peer's buffer is full: it is likely mid-send itself.  Drain any
       // inbound frame to keep both sides progressing, then wait briefly
-      // for writability.  Skip peers that already exited: their
+      // for writability.  Skip peers whose stream already ended: their
       // descriptors poll readable (POLLHUP) forever.
       for (int r = 0; r < nranks_; ++r) {
-        if (r == rank_ || r == to || peer_eof_[static_cast<std::size_t>(r)]) continue;
+        if (r == rank_ || r == to || peer_state(r) != CommStatus::kOk) continue;
         if (wait_ready(peer_fds_[static_cast<std::size_t>(r)], POLLIN, 0))
-          drain_frame(r, recv_timeout_ms_);
+          (void)drain_frame(r, recv_timeout_ms_);
       }
-      if (!peer_eof_[static_cast<std::size_t>(to)] && wait_ready(fd, POLLIN, 0))
-        drain_frame(to, recv_timeout_ms_);
-      SVELAT_ASSERT_MSG(now_ms() < deadline,
-                        "send timed out (peer not draining its socket)");
+      if (peer_state(to) == CommStatus::kOk && wait_ready(fd, POLLIN, 0))
+        (void)drain_frame(to, recv_timeout_ms_);
+      if (now_ms() >= deadline)
+        // The peer stopped draining its socket.  Recoverable only if the
+        // frame has not started; try_send maps a mid-frame stall to
+        // kTornFrame.
+        return done == 0 ? CommStatus::kTimeout : CommStatus::kTornFrame;
       wait_ready(fd, POLLOUT, 10);
       continue;
     }
     if (w < 0 && errno == EINTR) continue;
-    SVELAT_ASSERT_MSG(false, "socket send failed (peer gone?)");
+    // EPIPE / ECONNRESET: the peer is gone mid-conversation.
+    return (errno == EPIPE || errno == ECONNRESET) ? CommStatus::kPeerExited
+                                                   : CommStatus::kIoError;
   }
+  return CommStatus::kOk;
 }
 
-void SocketCommunicator::read_exact(int fd, void* data, std::size_t n) {
+CommStatus SocketCommunicator::read_exact(int fd, void* data, std::size_t n) {
   auto* p = static_cast<std::uint8_t*>(data);
   std::size_t done = 0;
   while (done < n) {
@@ -145,26 +167,28 @@ void SocketCommunicator::read_exact(int fd, void* data, std::size_t n) {
       done += static_cast<std::size_t>(r);
       continue;
     }
+    if (r == 0) return CommStatus::kTornFrame;  // EOF inside the frame
     if (r < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
       // The sender writes header + payload back to back; the remainder of
-      // a started frame arrives promptly.
-      SVELAT_ASSERT_MSG(wait_ready(fd, POLLIN, recv_timeout_ms_),
-                        "timed out mid-frame (peer died?)");
+      // a started frame arrives promptly -- a stall here means the peer
+      // died mid-frame.
+      if (!wait_ready(fd, POLLIN, recv_timeout_ms_)) return CommStatus::kTornFrame;
       continue;
     }
     if (r < 0 && errno == EINTR) continue;
-    SVELAT_ASSERT_MSG(false, "socket closed mid-frame (peer died?)");
+    return CommStatus::kIoError;
   }
+  return CommStatus::kOk;
 }
 
-bool SocketCommunicator::drain_frame(int from, int timeout_ms) {
-  if (peer_eof_[static_cast<std::size_t>(from)]) return false;
+CommStatus SocketCommunicator::drain_frame(int from, int timeout_ms) {
+  if (const CommStatus st = peer_state(from); st != CommStatus::kOk) return st;
   const int fd = peer_fds_[static_cast<std::size_t>(from)];
-  if (!wait_ready(fd, POLLIN, timeout_ms)) return false;
+  if (!wait_ready(fd, POLLIN, timeout_ms)) return CommStatus::kTimeout;
   // Read the header byte by byte so EOF on a frame BOUNDARY (the peer
   // completed all its sends and exited; its descriptor polls readable
   // forever) is distinguishable from EOF inside a frame (a torn write:
-  // the peer died).  Only the latter is an error.
+  // the peer died).  Only the latter breaks the stream.
   FrameHeader h;
   auto* hp = reinterpret_cast<std::uint8_t*>(&h);
   std::size_t got = 0;
@@ -175,24 +199,45 @@ bool SocketCommunicator::drain_frame(int from, int timeout_ms) {
       continue;
     }
     if (r == 0) {
-      SVELAT_ASSERT_MSG(got == 0, "socket closed mid-frame (peer died?)");
-      peer_eof_[static_cast<std::size_t>(from)] = true;
-      return false;
+      const CommStatus st =
+          got == 0 ? CommStatus::kPeerExited : CommStatus::kTornFrame;
+      peer_status_[static_cast<std::size_t>(from)] = st;
+      return st;
     }
     if (errno == EINTR) continue;
-    SVELAT_ASSERT_MSG(errno == EAGAIN || errno == EWOULDBLOCK, "socket recv failed");
-    SVELAT_ASSERT_MSG(wait_ready(fd, POLLIN, recv_timeout_ms_),
-                      "timed out mid-frame (peer died?)");
+    if (errno != EAGAIN && errno != EWOULDBLOCK) {
+      peer_status_[static_cast<std::size_t>(from)] = CommStatus::kIoError;
+      return CommStatus::kIoError;
+    }
+    if (!wait_ready(fd, POLLIN, recv_timeout_ms_)) {
+      // A header that stalls part-way means the peer died mid-write.
+      const CommStatus st =
+          got == 0 ? CommStatus::kTimeout : CommStatus::kTornFrame;
+      if (st != CommStatus::kTimeout)
+        peer_status_[static_cast<std::size_t>(from)] = st;
+      return st;
+    }
   }
-  SVELAT_ASSERT_MSG(h.magic == kMagic, "bad frame magic (stream desynchronized)");
-  SVELAT_ASSERT_MSG(h.from == from && h.to == rank_, "misrouted frame");
+  if (h.magic != kMagic) {
+    peer_status_[static_cast<std::size_t>(from)] = CommStatus::kDesync;
+    return CommStatus::kDesync;  // stream desynchronized
+  }
+  if (h.from != from || h.to != rank_) {
+    peer_status_[static_cast<std::size_t>(from)] = CommStatus::kDesync;
+    return CommStatus::kDesync;  // misrouted frame
+  }
   std::vector<std::uint8_t> payload(h.bytes);
-  read_exact(fd, payload.data(), payload.size());
+  if (const CommStatus st = read_exact(fd, payload.data(), payload.size());
+      st != CommStatus::kOk) {
+    peer_status_[static_cast<std::size_t>(from)] = st;
+    return st;
+  }
   inbox_[Key{h.from, h.tag}].push_back(std::move(payload));
-  return true;
+  return CommStatus::kOk;
 }
 
-std::vector<std::uint8_t> SocketCommunicator::recv(int to, int from, int tag) {
+CommStatus SocketCommunicator::try_recv(int to, int from, int tag,
+                                        std::vector<std::uint8_t>& out) {
   SVELAT_ASSERT_MSG(to == rank_, "a socket endpoint receives only at its own rank");
   check_rank(from);
   const Key k{from, tag};
@@ -200,19 +245,19 @@ std::vector<std::uint8_t> SocketCommunicator::recv(int to, int from, int tag) {
   for (;;) {
     auto it = inbox_.find(k);
     if (it != inbox_.end() && !it->second.empty()) {
-      std::vector<std::uint8_t> payload = std::move(it->second.front());
+      out = std::move(it->second.front());
       it->second.pop_front();
-      return payload;
+      return CommStatus::kOk;
     }
-    // Self-sends loop back in send(); nothing can arrive later.
-    SVELAT_ASSERT_MSG(from != rank_, "recv without matching send");
+    // Self-sends loop back in try_send(); nothing can arrive later.
+    if (from == rank_) return CommStatus::kNoMessage;
+    if (const CommStatus st = peer_state(from); st != CommStatus::kOk)
+      return st;  // the awaited message can never arrive
     const std::int64_t left = deadline - now_ms();
-    if (left <= 0 || !drain_frame(from, static_cast<int>(left))) {
-      SVELAT_ASSERT_MSG(false, peer_eof_[static_cast<std::size_t>(from)]
-                                   ? "recv without matching send (peer exited)"
-                                   : "recv without matching send (timed out "
-                                     "waiting for peer)");
-    }
+    if (left <= 0) return CommStatus::kTimeout;
+    if (const CommStatus st = drain_frame(from, static_cast<int>(left));
+        st != CommStatus::kOk && st != CommStatus::kTimeout)
+      return st;
   }
 }
 
@@ -226,11 +271,11 @@ bool SocketCommunicator::has_pending(int to, int from, int tag) {
     // documented non-blocking, so peek at the header and only drain when
     // the kernel buffer already holds the whole frame.
     const int fd = peer_fds_[static_cast<std::size_t>(from)];
-    while (!peer_eof_[static_cast<std::size_t>(from)] && wait_ready(fd, POLLIN, 0)) {
+    while (peer_state(from) == CommStatus::kOk && wait_ready(fd, POLLIN, 0)) {
       FrameHeader h;
       const ssize_t p = ::recv(fd, &h, sizeof h, MSG_PEEK);
       if (p == 0) {
-        peer_eof_[static_cast<std::size_t>(from)] = true;
+        peer_status_[static_cast<std::size_t>(from)] = CommStatus::kPeerExited;
         break;
       }
       if (p < 0) {
@@ -241,8 +286,8 @@ bool SocketCommunicator::has_pending(int to, int from, int tag) {
       int avail = 0;
       if (::ioctl(fd, FIONREAD, &avail) != 0 ||
           static_cast<std::uint64_t>(avail) < sizeof h + h.bytes)
-        break;  // payload incomplete
-      drain_frame(from, 0);  // whole frame buffered: cannot block
+        break;                       // payload incomplete
+      (void)drain_frame(from, 0);    // whole frame buffered: cannot block
     }
   }
   auto it = inbox_.find(Key{from, tag});
@@ -273,17 +318,30 @@ SocketWorld::SocketWorld(int nranks, int recv_timeout_ms) {
         nranks, r, std::move(mesh[static_cast<std::size_t>(r)]), recv_timeout_ms));
 }
 
+std::string RankExit::describe() const {
+  std::ostringstream os;
+  if (exited) {
+    if (exit_code == 0)
+      os << "exit 0";
+    else if (exit_code == kCommFailureExitCode)
+      os << "comm failure (exit " << exit_code << ")";
+    else if (exit_code == kUncaughtExceptionExitCode)
+      os << "uncaught exception (exit " << exit_code << ")";
+    else
+      os << "exit " << exit_code;
+  } else {
+    const char* name = ::strsignal(term_signal);
+    os << "killed by signal " << term_signal << " (" << (name ? name : "?") << ")";
+  }
+  if (!ok() && !log_path.empty()) os << "; log " << log_path;
+  return os.str();
+}
+
 std::string LaunchReport::describe() const {
   std::ostringstream os;
   os << (ok ? "all ranks ok" : "rank failure:");
-  for (const RankExit& e : ranks) {
-    os << " [rank " << e.rank << ": ";
-    if (e.exited)
-      os << "exit " << e.exit_code;
-    else
-      os << "signal " << e.term_signal;
-    os << "]";
-  }
+  for (const RankExit& e : ranks)
+    os << " [rank " << e.rank << ": " << e.describe() << "]";
   return os.str();
 }
 
@@ -318,7 +376,18 @@ LaunchReport run_ranks(int nranks,
       {
         SocketCommunicator comm(nranks, r, std::move(mesh[static_cast<std::size_t>(r)]),
                                 options.recv_timeout_ms);
-        code = body(r, comm);
+        // A typed communication failure (a peer crashed, a frame tore)
+        // becomes a per-rank exit verdict, not a job-wide abort: the
+        // launcher's LaunchReport attributes it to this rank.
+        try {
+          code = body(r, comm);
+        } catch (const CommError& e) {
+          std::fprintf(stderr, "rank %d: %s\n", r, e.what());
+          code = kCommFailureExitCode;
+        } catch (const std::exception& e) {
+          std::fprintf(stderr, "rank %d: uncaught exception: %s\n", r, e.what());
+          code = kUncaughtExceptionExitCode;
+        }
       }
       std::fflush(nullptr);
       ::_exit(code & 0xff);  // no atexit / gtest teardown in rank processes
@@ -342,13 +411,15 @@ LaunchReport run_ranks(int nranks,
     } while (w < 0 && errno == EINTR);
     RankExit e;
     e.rank = r;
+    if (!options.log_dir.empty())
+      e.log_path = options.log_dir + "/rank" + std::to_string(r) + ".log";
     if (w == pids[static_cast<std::size_t>(r)] && WIFEXITED(status)) {
       e.exited = true;
       e.exit_code = WEXITSTATUS(status);
     } else if (w == pids[static_cast<std::size_t>(r)] && WIFSIGNALED(status)) {
       e.term_signal = WTERMSIG(status);
     }
-    if (!(e.exited && e.exit_code == 0)) report.ok = false;
+    if (!e.ok()) report.ok = false;
     report.ranks.push_back(e);
   }
   return report;

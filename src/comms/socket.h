@@ -20,10 +20,18 @@
 // (peer's socket buffer full) or to read (frame not yet arrived), any
 // complete frame available from any peer is drained into the local inbox.
 // Ring exchanges where every rank sends before receiving therefore cannot
-// deadlock regardless of message size.  A recv() whose frame never arrives
-// aborts after `recv_timeout_ms` (the multi-process analogue of
-// SimCommunicator's recv-without-matching-send abort), so a desynchronized
-// rank kills the job instead of hanging CI.
+// deadlock regardless of message size.
+//
+// Failure handling is typed (comms/comm_error.h, contract in
+// docs/FAULTS.md), not abort-on-timeout: a try_recv whose frame has not
+// arrived within `recv_timeout_ms` reports CommStatus::kTimeout (the base
+// class retries transient statuses per its RetryPolicy before the
+// call-site recv() throws CommError); EOF on a frame boundary reports
+// kPeerExited so a rank waiting on a crashed peer gets a failure verdict
+// quickly instead of burning its full timeout; EOF or a stall INSIDE a
+// frame reports kTornFrame; a bad magic or misrouted frame reports
+// kDesync.  Fatal statuses are sticky per peer -- the stream is
+// desynchronized beyond repair once a frame tears.
 #pragma once
 
 #include <cstdint>
@@ -60,8 +68,10 @@ class SocketCommunicator final : public Communicator {
   int rank() const { return rank_; }
 
   int size() const override { return nranks_; }
-  void send(int from, int to, int tag, std::vector<std::uint8_t> payload) override;
-  std::vector<std::uint8_t> recv(int to, int from, int tag) override;
+  CommStatus try_send(int from, int to, int tag,
+                      const std::vector<std::uint8_t>& payload) override;
+  CommStatus try_recv(int to, int from, int tag,
+                      std::vector<std::uint8_t>& out) override;
   bool has_pending(int to, int from, int tag) override;
   std::size_t bytes_sent() const override { return bytes_sent_; }
   void reset_counters() override { bytes_sent_ = 0; }
@@ -73,20 +83,31 @@ class SocketCommunicator final : public Communicator {
     SVELAT_ASSERT_MSG(r >= 0 && r < nranks_, "bad rank");
   }
   /// Blocking write of the full buffer to `to`, draining inbound frames
-  /// while the outbound buffer is full.
-  void write_all(int to, const void* data, std::size_t n);
-  /// Read one complete frame from `from` into the inbox; false on timeout
-  /// or when the peer has exited (EOF on a frame boundary -- recorded in
-  /// peer_eof_; EOF inside a frame aborts).
-  bool drain_frame(int from, int timeout_ms);
+  /// while the outbound buffer is full.  kTimeout only before the first
+  /// byte is committed; a stall mid-frame is kTornFrame (the stream
+  /// cannot be resynchronized).
+  CommStatus write_all(int to, const void* data, std::size_t n);
+  /// Read one complete frame from `from` into the inbox.  kOk: a frame
+  /// was drained.  kTimeout: none arrived in time.  kPeerExited: EOF on a
+  /// frame boundary (the peer completed its sends and exited -- recorded
+  /// in peer_status_).  kTornFrame / kDesync: the stream is broken
+  /// (sticky in peer_status_).
+  CommStatus drain_frame(int from, int timeout_ms);
   /// Read exactly n bytes from fd (payload follows its header promptly).
-  void read_exact(int fd, void* data, std::size_t n);
+  CommStatus read_exact(int fd, void* data, std::size_t n);
+
+  /// kOk while the peer's stream is usable; otherwise the sticky verdict.
+  CommStatus peer_state(int r) const {
+    return peer_status_[static_cast<std::size_t>(r)];
+  }
 
   int nranks_;
   int rank_;
   int recv_timeout_ms_;
   std::vector<int> peer_fds_;
-  std::vector<bool> peer_eof_;  ///< peer exited after completing its sends
+  /// Per-peer stream verdict: kOk, kPeerExited (clean EOF) or a sticky
+  /// fatal status (kTornFrame / kDesync / kIoError).
+  std::vector<CommStatus> peer_status_;
   std::map<Key, std::deque<std::vector<std::uint8_t>>> inbox_;
   std::size_t bytes_sent_ = 0;
 };
@@ -114,30 +135,48 @@ class SocketWorld {
 struct LaunchOptions {
   int recv_timeout_ms = SocketCommunicator::kDefaultRecvTimeoutMs;
   /// When non-empty, each rank's stdout/stderr are redirected to
-  /// `<log_dir>/rank<r>.log` (the CI distributed lane uploads these on
-  /// failure).  The directory must already exist.
+  /// `<log_dir>/rank<r>.log` (the CI lanes upload these on failure).
+  /// The directory must already exist.
   std::string log_dir;
 };
 
+/// Exit code a rank process reports when its body threw a CommError the
+/// launcher should attribute to a communication failure (a peer crashed
+/// or desynchronized), and the code for any other uncaught exception.
+inline constexpr int kCommFailureExitCode = 84;
+inline constexpr int kUncaughtExceptionExitCode = 85;
+
 struct RankExit {
   int rank = -1;
-  bool exited = false;  ///< false: killed by a signal (e.g. SIGABRT)
-  int exit_code = -1;   ///< valid when exited
-  int term_signal = 0;  ///< valid when !exited
+  bool exited = false;    ///< false: killed by a signal (e.g. SIGKILL)
+  int exit_code = -1;     ///< valid when exited
+  int term_signal = 0;    ///< valid when !exited
+  std::string log_path;   ///< the rank's log file (empty without log_dir)
+
+  bool ok() const { return exited && exit_code == 0; }
+  /// One human-readable verdict, e.g. "exit 3", "comm failure (exit 84)"
+  /// or "killed by signal 9 (Killed)".
+  std::string describe() const;
 };
 
 struct LaunchReport {
   bool ok = false;  ///< every rank exited with code 0
   std::vector<RankExit> ranks;
+  /// Clean exits, nonzero exits and signal deaths are decoded per rank;
+  /// failure lines include the rank's log path when logs were redirected.
   std::string describe() const;
 };
 
 /// Fork `nranks` rank processes wired as a full socket mesh and run
 /// `body(rank, comm)` in each; a rank's return value becomes its exit code.
-/// The parent owns no endpoint: it closes every descriptor, waits for all
-/// children and reports per-rank exits.  Children run single-threaded
-/// (set_force_serial) because the parent's OpenMP team does not survive
-/// fork(); the deterministic reductions keep results bitwise identical.
+/// A CommError escaping the body exits the rank with kCommFailureExitCode
+/// (any other exception: kUncaughtExceptionExitCode) after printing the
+/// diagnostic, so one crashed rank yields a per-rank verdict in the
+/// LaunchReport instead of a job-wide abort.  The parent owns no endpoint:
+/// it closes every descriptor, waits for all children and reports per-rank
+/// exits.  Children run single-threaded (set_force_serial) because the
+/// parent's OpenMP team does not survive fork(); the deterministic
+/// reductions keep results bitwise identical.
 LaunchReport run_ranks(int nranks,
                        const std::function<int(int, SocketCommunicator&)>& body,
                        const LaunchOptions& options = {});

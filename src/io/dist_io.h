@@ -189,11 +189,24 @@ void save_gauge_distributed(const std::string& dir,
 /// between a distributed save and a subsequent read of the directory by
 /// ranks != 0.  In-process drivers that serialize the rank calls (rank 0
 /// last) do not need it.
+///
+/// The wait is BOUNDED: the token recv is limited by the transport's own
+/// timeout times the retry policy's attempts.  When rank 0 never
+/// publishes (it crashed, or stalled past the bound), the waiting rank
+/// gets IoError(kBarrierTimeout) naming the transport's verdict instead
+/// of hanging forever.
 inline void manifest_barrier(comms::Communicator& comm, int rank) {
   if (rank == 0) {
     for (int r = 1; r < comm.size(); ++r) comm.send(0, r, kManifestReadyTag, {});
   } else {
-    comm.recv(rank, 0, kManifestReadyTag);
+    std::vector<std::uint8_t> token;
+    const comms::CommStatus st = comm.recv_status(rank, 0, kManifestReadyTag, token);
+    if (st != comms::CommStatus::kOk)
+      throw IoError(IoErrorCode::kBarrierTimeout,
+                    "rank " + std::to_string(rank) +
+                        " waited for rank 0 to publish the manifest, but the ready "
+                        "token never arrived (" +
+                        comms::comm_status_name(st) + ")");
   }
 }
 

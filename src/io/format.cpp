@@ -1,5 +1,7 @@
 #include "io/format.h"
 
+#include <unistd.h>
+
 #include <bit>
 #include <cstdio>
 #include <cstring>
@@ -21,6 +23,7 @@ const char* io_error_name(IoErrorCode code) {
     case IoErrorCode::kMismatch: return "mismatch";
     case IoErrorCode::kBadManifest: return "bad manifest";
     case IoErrorCode::kRankFileMismatch: return "rank-file mismatch";
+    case IoErrorCode::kBarrierTimeout: return "barrier timeout";
   }
   return "unknown";
 }
@@ -88,15 +91,35 @@ std::vector<std::uint8_t> read_file_bytes(const std::string& path) {
   return bytes;
 }
 
+namespace {
+void (*g_write_fault_hook)() = nullptr;
+}  // namespace
+
+void set_write_fault_hook(void (*hook)()) { g_write_fault_hook = hook; }
+
 void write_file_bytes(const std::string& path, const std::vector<std::uint8_t>& bytes) {
-  std::FILE* f = std::fopen(path.c_str(), "wb");
+  // Write-to-temp + fsync + rename: a crash anywhere in here leaves the
+  // destination either untouched or fully replaced (rename(2) is atomic
+  // within a filesystem), never a torn file.  Checkpoint recovery relies
+  // on this: the newest file that decodes is a complete, valid state.
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
   if (f == nullptr)
-    throw IoError(IoErrorCode::kOpenFailed, "cannot open '" + path + "' for writing");
+    throw IoError(IoErrorCode::kOpenFailed, "cannot open '" + tmp + "' for writing");
   const std::size_t put = bytes.empty() ? 0 : std::fwrite(bytes.data(), 1, bytes.size(), f);
   const bool flushed = std::fflush(f) == 0;
+  const bool synced = flushed && ::fsync(::fileno(f)) == 0;
   std::fclose(f);
-  if (put != bytes.size() || !flushed)
-    throw IoError(IoErrorCode::kOpenFailed, "cannot write all of '" + path + "'");
+  if (put != bytes.size() || !synced) {
+    std::remove(tmp.c_str());
+    throw IoError(IoErrorCode::kOpenFailed, "cannot write all of '" + tmp + "'");
+  }
+  if (g_write_fault_hook != nullptr) g_write_fault_hook();
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw IoError(IoErrorCode::kOpenFailed,
+                  "cannot rename '" + tmp + "' into '" + path + "'");
+  }
 }
 
 // --- the SVGF field file ----------------------------------------------------

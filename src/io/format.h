@@ -45,6 +45,7 @@ enum class IoErrorCode {
   kMismatch,         ///< file is valid but does not fit the destination
   kBadManifest,      ///< distributed-run manifest invalid or inconsistent
   kRankFileMismatch, ///< rank file does not match the manifest's CRC
+  kBarrierTimeout,   ///< manifest barrier: rank 0 never published the manifest
 };
 
 const char* io_error_name(IoErrorCode code);
@@ -78,9 +79,19 @@ double get_f64(const std::vector<std::uint8_t>& in, std::size_t& off, IoErrorCod
 /// Read a whole file; throws IoError(kOpenFailed) when it cannot be read.
 std::vector<std::uint8_t> read_file_bytes(const std::string& path);
 
-/// Write a whole file atomically enough for our purposes (truncate +
-/// write + flush); throws IoError(kOpenFailed) on any failure.
+/// Write a whole file ATOMICALLY: the bytes go to `<path>.tmp` (written,
+/// flushed and fsync'd), which is then rename(2)'d over `path`.  A crash
+/// at ANY point -- including SIGKILL mid-write -- leaves either the old
+/// file intact or the new file complete, never a torn mix; this is what
+/// lets a restarted run trust the newest checkpoint that decodes.
+/// Throws IoError(kOpenFailed) on any failure (the temp file is removed).
 void write_file_bytes(const std::string& path, const std::vector<std::uint8_t>& bytes);
+
+/// Test/fault hook: when set, invoked after the temp file is fully
+/// written and synced but BEFORE the rename commits it.  The kill-during-
+/// write tests install a hook that raises SIGKILL here to prove the
+/// previous file survives an interrupted write.  Pass nullptr to clear.
+void set_write_fault_hook(void (*hook)());
 
 // --- the SVGF field file ----------------------------------------------------
 

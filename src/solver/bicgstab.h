@@ -11,10 +11,12 @@
 namespace svelat::solver {
 
 /// BiCGSTAB for a general (non-hermitian) operator `op`.  `x` carries the
-/// initial guess and receives the solution.
+/// initial guess and receives the solution.  An armed StallGuard
+/// (default: off) cuts the loop short on divergence or stall, reporting
+/// the reason in SolverResult::stall.
 template <class Field, class LinearOp>
 SolverResult bicgstab(const LinearOp& op, const Field& b, Field& x, double tolerance,
-                      int max_iterations) {
+                      int max_iterations, StallGuard guard = {}) {
   using C = decltype(innerProduct(b, b));
   SolverResult stats;
   stats.algorithm = Algorithm::kBiCGSTAB;
@@ -35,6 +37,9 @@ SolverResult bicgstab(const LinearOp& op, const Field& b, Field& x, double toler
 
   for (int k = 0; k < max_iterations && rr > stop; ++k) {
     stats.residual_history.push_back(std::sqrt(rr / b2));
+    if ((stats.stall = guard.check(stats.residual_history.back())) !=
+        StallReason::kNone)
+      break;
 
     op(p, v);
     const C r0v = innerProduct(r0, v);
@@ -89,11 +94,11 @@ template <class S>
 SolverResult solve_wilson_bicgstab(const qcd::WilsonDirac<S>& dirac,
                                    const qcd::LatticeFermion<S>& b,
                                    qcd::LatticeFermion<S>& x, double tolerance,
-                                   int max_iterations) {
+                                   int max_iterations, StallGuard guard = {}) {
   auto op = [&dirac](const qcd::LatticeFermion<S>& in, qcd::LatticeFermion<S>& out) {
     dirac.m(in, out);
   };
-  return bicgstab(op, b, x, tolerance, max_iterations);
+  return bicgstab(op, b, x, tolerance, max_iterations, guard);
 }
 
 }  // namespace svelat::solver

@@ -22,10 +22,13 @@ namespace svelat::solver {
 /// Field is any lattice field type with grid()/norm2/innerProduct/axpy --
 /// full Lattice<vobj> or the half-checkerboard fields of the production
 /// Schur path (solver::WilsonSolver), whose half-length vectors halve the
-/// per-iteration axpy/norm traffic.
+/// per-iteration axpy/norm traffic.  An armed StallGuard (default: off)
+/// cuts the loop short when the residual diverges or stalls, reporting
+/// the reason in SolverResult::stall.
 template <class Field, class LinearOp>
 SolverResult conjugate_gradient(const LinearOp& op, const Field& b, Field& x,
-                                double tolerance, int max_iterations) {
+                                double tolerance, int max_iterations,
+                                StallGuard guard = {}) {
   SolverResult stats;
   stats.algorithm = Algorithm::kCG;
   stats.target_residual = tolerance;
@@ -44,6 +47,9 @@ SolverResult conjugate_gradient(const LinearOp& op, const Field& b, Field& x,
   for (int k = 0; k < max_iterations; ++k) {
     stats.residual_history.push_back(std::sqrt(rr / b2));
     if (rr <= stop) break;
+    if ((stats.stall = guard.check(stats.residual_history.back())) !=
+        StallReason::kNone)
+      break;
 
     op(p, ap);
     const double pap = std::real(innerProduct(p, ap));
@@ -85,11 +91,12 @@ struct WilsonNormalOp {
 template <class S>
 SolverResult solve_wilson(const qcd::WilsonDirac<S>& dirac,
                           const qcd::LatticeFermion<S>& b, qcd::LatticeFermion<S>& x,
-                          double tolerance, int max_iterations) {
+                          double tolerance, int max_iterations,
+                          StallGuard guard = {}) {
   qcd::LatticeFermion<S> mdag_b(b.grid());
   dirac.mdag(b, mdag_b);
   SolverResult stats = conjugate_gradient(WilsonNormalOp<S>{dirac}, mdag_b, x,
-                                          tolerance, max_iterations);
+                                          tolerance, max_iterations, guard);
   // Replace the normal-equation norms with the Wilson-system ones.
   const double b2 = norm2(b);
   stats.rhs_norm = std::sqrt(b2);

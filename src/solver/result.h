@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdio>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -43,6 +44,58 @@ inline const char* to_string(Preconditioner p) {
   return "?";
 }
 
+/// What the facade does when a solve fails to converge (graceful
+/// degradation; part of the fault-tolerance layer, see docs/FAULTS.md).
+enum class FallbackPolicy {
+  kNone,  ///< report converged == false, nothing else
+  kAuto,  ///< retry once with a more robust configuration:
+          ///< kBiCGSTAB -> kCG (normal equations), kMixedCG -> full-
+          ///< precision kCG.  kCG itself has no further fallback.
+};
+
+/// Why the stall guard cut a solve short (SolverResult::stall).
+enum class StallReason {
+  kNone,      ///< the guard never fired
+  kDiverged,  ///< residual grew past divergence_factor x the best seen
+  kStalled,   ///< no new best residual for stall_window iterations
+};
+
+inline const char* to_string(StallReason r) {
+  switch (r) {
+    case StallReason::kNone: return "none";
+    case StallReason::kDiverged: return "diverged";
+    case StallReason::kStalled: return "stalled";
+  }
+  return "?";
+}
+
+/// Online divergence/stall detector over a residual sequence.  Feed each
+/// relative residual to check(); a non-kNone return means further
+/// iterations are wasted work (the residual exploded, or made no progress
+/// for a full window).  Both triggers default OFF (window 0, factor 0):
+/// a starved solve that simply runs out of iterations still reports the
+/// plain converged == false it always did.
+struct StallGuard {
+  int window = 0;                  ///< 0 disables the stall trigger
+  double divergence_factor = 0.0;  ///< 0 disables the divergence trigger
+
+  double best = std::numeric_limits<double>::infinity();
+  int since_best = 0;
+
+  StallReason check(double rel) {
+    if (divergence_factor > 0.0 && best < std::numeric_limits<double>::infinity() &&
+        rel > best * divergence_factor)
+      return StallReason::kDiverged;
+    if (rel < best) {
+      best = rel;
+      since_best = 0;
+    } else if (window > 0 && ++since_best >= window) {
+      return StallReason::kStalled;
+    }
+    return StallReason::kNone;
+  }
+};
+
 /// Knobs of a Wilson solve.  The defaults are the production
 /// configuration: Schur-preconditioned CG on true half-checkerboard
 /// fields (the path measured at 50.2% of the zero-padded instruction
@@ -63,6 +116,13 @@ struct SolverParams {
   int inner_max_iterations = 400; ///< inner iteration cap per restart
   int max_restarts = 24;          ///< outer defect-correction restart cap
 
+  // Graceful degradation (all OFF by default; docs/FAULTS.md).
+  FallbackPolicy fallback = FallbackPolicy::kNone;
+  int stall_window = 0;            ///< iterations without a new best residual
+                                   ///< before the solve is cut short (0: off)
+  double divergence_factor = 0.0;  ///< residual growth over the best seen that
+                                   ///< declares divergence (0: off)
+
   int verbosity = 0;  ///< 0 silent, >= 1 one summary line per solve
 
   // Chainable named setters, so call sites can spell only what differs
@@ -81,6 +141,12 @@ struct SolverParams {
     return *this;
   }
   SolverParams& with_max_restarts(int n) { max_restarts = n; return *this; }
+  SolverParams& with_fallback(FallbackPolicy p) { fallback = p; return *this; }
+  SolverParams& with_stall_window(int n) { stall_window = n; return *this; }
+  SolverParams& with_divergence_factor(double f) {
+    divergence_factor = f;
+    return *this;
+  }
   SolverParams& with_verbosity(int v) { verbosity = v; return *this; }
 };
 
@@ -105,6 +171,15 @@ struct SolverResult {
 
   std::vector<double> residual_history;  ///< |r|/|b| per outer iteration
 
+  // Graceful-degradation report.  When the facade's FallbackPolicy::kAuto
+  // rescued a failed solve, the result describes the FALLBACK solve
+  // (algorithm, iterations, residuals) and these fields record what was
+  // degraded from and why.
+  StallReason stall = StallReason::kNone;  ///< why the first attempt was cut short
+  bool fallback_used = false;              ///< a fallback solve produced x
+  Algorithm fallback_from = Algorithm::kCG;  ///< first-attempt algorithm
+  int first_attempt_iterations = 0;          ///< iterations spent before fallback
+
   /// One-line human-readable summary, e.g. for verbose solves.
   std::string summary() const;
 };
@@ -113,12 +188,20 @@ inline std::string SolverResult::summary() const {
   char inner[48] = "";
   if (inner_iterations > 0)
     std::snprintf(inner, sizeof(inner), " (+%d inner)", inner_iterations);
-  char buf[192];
+  char degraded[96] = "";
+  if (fallback_used)
+    std::snprintf(degraded, sizeof(degraded),
+                  " [fallback from %s after %d iterations: %s]",
+                  to_string(fallback_from), first_attempt_iterations,
+                  to_string(stall));
+  else if (stall != StallReason::kNone)
+    std::snprintf(degraded, sizeof(degraded), " [%s]", to_string(stall));
+  char buf[288];
   std::snprintf(buf, sizeof(buf),
-                "%s/%s: %s, %d iterations%s, |r|/|b| %.3e (true %.3e)",
+                "%s/%s: %s, %d iterations%s, |r|/|b| %.3e (true %.3e)%s",
                 to_string(algorithm), to_string(preconditioner),
                 converged ? "converged" : "NOT converged", iterations, inner,
-                final_residual, true_residual);
+                final_residual, true_residual, degraded);
   return buf;
 }
 

@@ -117,29 +117,42 @@ class WilsonSolver {
   /// the Schur paths always start the preconditioned system from zero and
   /// overwrite both parities of `x`.  Non-convergence is reported through
   /// SolverResult::converged, never asserted.
+  ///
+  /// Graceful degradation: with an armed stall guard
+  /// (params.stall_window / params.divergence_factor) a diverging or
+  /// stalled solve is cut short and the reason recorded in
+  /// SolverResult::stall; with params.fallback == FallbackPolicy::kAuto a
+  /// failed solve is retried once on the robust path (kBiCGSTAB -> kCG
+  /// normal equations, kMixedCG -> full-precision kCG) from a zero guess,
+  /// and the result records the degradation (fallback_used,
+  /// fallback_from, first_attempt_iterations).
   SolverResult solve(const Fermion& b, Fermion& x) {
+    const StallGuard guard{params_.stall_window, params_.divergence_factor};
     SolverResult res;
     switch (params_.algorithm) {
       case Algorithm::kCG:
         res = schur() ? schur_cg(*eo_, *ws_, b, x, params_.tolerance,
-                                 params_.max_iterations)
+                                 params_.max_iterations, guard)
                       : solve_wilson(*dirac_, b, x, params_.tolerance,
-                                     params_.max_iterations);
+                                     params_.max_iterations, guard);
         break;
       case Algorithm::kBiCGSTAB:
         res = schur() ? schur_bicgstab(*eo_, *ws_, b, x, params_.tolerance,
-                                       params_.max_iterations)
+                                       params_.max_iterations, guard)
                       : solve_wilson_bicgstab(*dirac_, b, x, params_.tolerance,
-                                              params_.max_iterations);
+                                              params_.max_iterations, guard);
         break;
       case Algorithm::kMixedCG:
-        res = mixed(b, x);
+        res = mixed(b, x, guard);
         break;
     }
     res.algorithm = params_.algorithm;
     res.preconditioner = params_.preconditioner;
     res.target_residual = params_.tolerance;
     res.solution_norm = std::sqrt(norm2(x));
+    if (!res.converged && params_.fallback == FallbackPolicy::kAuto &&
+        params_.algorithm != Algorithm::kCG)
+      return fallback_solve(b, x, res);
     if (params_.verbosity >= 1) log_info() << "WilsonSolver " << res.summary();
     return res;
   }
@@ -149,6 +162,31 @@ class WilsonSolver {
  private:
   bool schur() const { return params_.preconditioner == Preconditioner::kSchurEvenOdd; }
 
+  /// One fallback attempt on the robust configuration: kBiCGSTAB and
+  /// kMixedCG both degrade to plain double-precision kCG (normal
+  /// equations -- slower per iteration, but positive definite and immune
+  /// to both BiCGSTAB breakdown and the fp32 precision floor).  The
+  /// fallback runs with guards and further fallback off, from a zero
+  /// guess, and its result carries the degradation report.
+  SolverResult fallback_solve(const Fermion& b, Fermion& x,
+                              const SolverResult& first) {
+    SolverParams fbp = params_;
+    fbp.algorithm = Algorithm::kCG;
+    fbp.fallback = FallbackPolicy::kNone;
+    fbp.stall_window = 0;
+    fbp.divergence_factor = 0.0;
+    fbp.verbosity = 0;
+    WilsonSolver fb(gauge_, mass_, fbp);
+    x.set_zero();
+    SolverResult res = fb.solve(b, x);
+    res.fallback_used = true;
+    res.fallback_from = params_.algorithm;
+    res.first_attempt_iterations = first.iterations;
+    res.stall = first.stall;
+    if (params_.verbosity >= 1) log_info() << "WilsonSolver " << res.summary();
+    return res;
+  }
+
   /// Schur CG: normal equations on Mhat over even half fields.  Static and
   /// scalar-generic because kMixedCG reuses it for the fp32 inner solve.
   template <class T>
@@ -156,13 +194,13 @@ class WilsonSolver {
                                qcd::SchurWorkspace<T>& ws,
                                const qcd::LatticeFermion<T>& b,
                                qcd::LatticeFermion<T>& x, double tolerance,
-                               int max_iterations) {
+                               int max_iterations, StallGuard guard = {}) {
     using HF = qcd::HalfLatticeFermion<T>;
     return qcd::detail::schur_half_solve(
         eo, ws, b, x, [&](const HF& b_prime, HF& x_e) {
           eo.mhat_dag(b_prime, ws.rhs);
           const auto op = [&eo](const HF& in, HF& out) { eo.mhat_dag_mhat(in, out); };
-          return conjugate_gradient(op, ws.rhs, x_e, tolerance, max_iterations);
+          return conjugate_gradient(op, ws.rhs, x_e, tolerance, max_iterations, guard);
         });
   }
 
@@ -173,12 +211,12 @@ class WilsonSolver {
                                      qcd::SchurWorkspace<T>& ws,
                                      const qcd::LatticeFermion<T>& b,
                                      qcd::LatticeFermion<T>& x, double tolerance,
-                                     int max_iterations) {
+                                     int max_iterations, StallGuard guard = {}) {
     using HF = qcd::HalfLatticeFermion<T>;
     return qcd::detail::schur_half_solve(
         eo, ws, b, x, [&](const HF& b_prime, HF& x_e) {
           const auto op = [&eo](const HF& in, HF& out) { eo.mhat(in, out); };
-          return bicgstab(op, b_prime, x_e, tolerance, max_iterations);
+          return bicgstab(op, b_prime, x_e, tolerance, max_iterations, guard);
         });
   }
 
@@ -186,7 +224,7 @@ class WilsonSolver {
   /// loop wrapping an inner single-precision solve of M e = r on the
   /// converted gauge field.  params_.max_restarts caps the outer cycles;
   /// params_.inner_tolerance / inner_max_iterations tune the inner CG.
-  SolverResult mixed(const Fermion& b, Fermion& x) {
+  SolverResult mixed(const Fermion& b, Fermion& x, StallGuard guard = {}) {
     SolverResult stats;
     const double b2 = norm2(b);
     SVELAT_ASSERT_MSG(b2 > 0.0, "mixed CG needs a non-zero right-hand side");
@@ -201,6 +239,10 @@ class WilsonSolver {
     stats.residual_history.push_back(rel);
 
     while (rel > params_.tolerance && stats.iterations < params_.max_restarts) {
+      // The guard watches the OUTER (true double-precision) residual: a
+      // defect-correction cycle that stops improving it -- e.g. the inner
+      // solve returns no correction -- is a stall worth cutting short.
+      if ((stats.stall = guard.check(rel)) != StallReason::kNone) break;
       // Inner solve in single precision: M e = r (approximately).
       convert_field(r_f, r);
       e_f.set_zero();

@@ -97,7 +97,8 @@ inline svreg<E> svindex(E base, E step) {
   detail::record(InsnClass::kDup, "index z", detail::suffix<E>());
   svreg<E> r;
   const unsigned n = detail::active_lanes<E>();
-  for (unsigned i = 0; i < n; ++i) r.lane[i] = static_cast<E>(base + static_cast<E>(i) * step);
+  for (unsigned i = 0; i < n; ++i)
+    r.lane[i] = static_cast<E>(base + static_cast<E>(i) * step);
   detail::clear_inactive_storage(r, n);
   return r;
 }
@@ -230,8 +231,8 @@ inline svreg<E> svlsl_int_x(const svbool_t& pg, const svreg<E>& a, unsigned shif
 // --- Floating-point compares (produce predicates) --------------------------------------
 namespace detail {
 template <typename E, typename Cmp>
-inline svbool_t cmp_impl(const svbool_t& pg, const svreg<E>& a, const svreg<E>& b, Cmp cmp,
-                         const char* mnemonic) {
+inline svbool_t cmp_impl(const svbool_t& pg, const svreg<E>& a, const svreg<E>& b,
+                         Cmp cmp, const char* mnemonic) {
   record(InsnClass::kCompare, mnemonic, suffix<E>());
   svbool_t r{};
   const unsigned n = active_lanes<E>();

@@ -70,7 +70,8 @@ inline svfloat16_t svcvt_f16_f32_x(const svbool_t& pg, const svfloat32_t& a) {
   const unsigned wide_n = detail::active_lanes<float32_t>();
   for (unsigned i = 0; i < wide_n; ++i) {
     r.lane[R * i + 1] = float16_t{};
-    r.lane[R * i] = detail::pred_elem<float32_t>(pg, i) ? float16_t(a.lane[i]) : float16_t{};
+    r.lane[R * i] =
+        detail::pred_elem<float32_t>(pg, i) ? float16_t(a.lane[i]) : float16_t{};
   }
   detail::clear_inactive_storage(r, detail::active_lanes<float16_t>());
   return r;

@@ -18,7 +18,8 @@ namespace svelat::sve {
 /// concatenation (a:b).  imm counts elements, as in the ACLE wrapper.
 template <typename E>
 inline svreg<E> svext(const svreg<E>& a, const svreg<E>& b, unsigned imm) {
-  detail::record_imm(InsnClass::kPermute, "ext z, z, z", "b", static_cast<int>(imm * sizeof(E)));
+  detail::record_imm(InsnClass::kPermute, "ext z, z, z", "b",
+                     static_cast<int>(imm * sizeof(E)));
   svreg<E> r;
   const unsigned n = detail::active_lanes<E>();
   SVELAT_DEBUG_ASSERT(imm < n);

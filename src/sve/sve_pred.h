@@ -124,21 +124,24 @@ inline std::uint64_t svcntp_b64(const svbool_t& pg, const svbool_t& p) {
 inline svbool_t svand_b_z(const svbool_t& pg, const svbool_t& a, const svbool_t& b) {
   detail::record(InsnClass::kPredicate, "and p, p/z, p, p", "b");
   svbool_t r{};
-  for (unsigned i = 0; i < vector_bytes(); ++i) r.byte[i] = pg.byte[i] && a.byte[i] && b.byte[i];
+  for (unsigned i = 0; i < vector_bytes(); ++i)
+    r.byte[i] = pg.byte[i] && a.byte[i] && b.byte[i];
   return r;
 }
 
 inline svbool_t svorr_b_z(const svbool_t& pg, const svbool_t& a, const svbool_t& b) {
   detail::record(InsnClass::kPredicate, "orr p, p/z, p, p", "b");
   svbool_t r{};
-  for (unsigned i = 0; i < vector_bytes(); ++i) r.byte[i] = pg.byte[i] && (a.byte[i] || b.byte[i]);
+  for (unsigned i = 0; i < vector_bytes(); ++i)
+    r.byte[i] = pg.byte[i] && (a.byte[i] || b.byte[i]);
   return r;
 }
 
 inline svbool_t sveor_b_z(const svbool_t& pg, const svbool_t& a, const svbool_t& b) {
   detail::record(InsnClass::kPredicate, "eor p, p/z, p, p", "b");
   svbool_t r{};
-  for (unsigned i = 0; i < vector_bytes(); ++i) r.byte[i] = pg.byte[i] && (a.byte[i] != b.byte[i]);
+  for (unsigned i = 0; i < vector_bytes(); ++i)
+    r.byte[i] = pg.byte[i] && (a.byte[i] != b.byte[i]);
   return r;
 }
 

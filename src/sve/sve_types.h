@@ -29,7 +29,8 @@ using float16_t = svelat::half;
 /// Generic simulated vector register with element type E.
 template <typename E>
 struct svreg {
-  static constexpr unsigned kMaxLanes = static_cast<unsigned>(kMaxVectorBytes / sizeof(E));
+  static constexpr unsigned kMaxLanes =
+      static_cast<unsigned>(kMaxVectorBytes / sizeof(E));
   alignas(64) E lane[kMaxLanes];
 };
 

@@ -133,15 +133,50 @@ TEST_P(ConformanceTest, LargePayloadSurvivesTheWire) {
   EXPECT_EQ(at(3).recv(3, 2, 1), big);
 }
 
-TEST_P(ConformanceTest, RecvWithoutMatchingSendAborts) {
+TEST_P(ConformanceTest, RecvWithoutMatchingSendThrowsTyped) {
   // Short timeout: the socket transport must give up waiting on the peer
-  // and fail with the same diagnostic the simulated one raises instantly.
-  auto world = make_world(GetParam(), 2, /*timeout_ms=*/100);
-  EXPECT_DEATH((void)world->at(1).recv(1, 0, 99), "matching send");
+  // (kTimeout, after its retry policy) where the simulated one detects
+  // the missing send instantly (kNoMessage).  Both surface as CommError,
+  // not abort.
+  auto world = make_world(GetParam(), 2, /*timeout_ms=*/50);
+  try {
+    (void)world->at(1).recv(1, 0, 99);
+    FAIL() << "recv of a never-sent message must throw";
+  } catch (const CommError& e) {
+    EXPECT_TRUE(e.status() == CommStatus::kTimeout ||
+                e.status() == CommStatus::kNoMessage)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("svelat comm ["), std::string::npos);
+  }
 }
 
-TEST_P(ConformanceTest, SelfRecvWithoutSendAbortsImmediately) {
-  EXPECT_DEATH((void)at(2).recv(2, 2, 99), "matching send");
+TEST_P(ConformanceTest, SelfRecvWithoutSendFailsInstantly) {
+  // Nothing can ever loop back later, so every transport detects this
+  // without waiting -- and without burning retries (kNoMessage is not a
+  // transient class).
+  try {
+    (void)at(2).recv(2, 2, 99);
+    FAIL() << "self-recv of a never-sent message must throw";
+  } catch (const CommError& e) {
+    EXPECT_EQ(e.status(), CommStatus::kNoMessage) << e.what();
+  }
+  EXPECT_EQ(at(2).retries(), 0u);
+}
+
+TEST_P(ConformanceTest, StatusLayerReportsFailureWithoutThrowing) {
+  Payload out;
+  const CommStatus st = at(2).recv_status(2, 2, 99, out);
+  EXPECT_EQ(st, CommStatus::kNoMessage);
+}
+
+TEST_P(ConformanceTest, AbortOnFailureIsTheConfiguredLastResort) {
+  // The one remaining abort path: opt-in via the retry policy.
+  auto world = make_world(GetParam(), 2, /*timeout_ms=*/50);
+  RetryPolicy policy;
+  policy.abort_on_failure = true;
+  policy.max_attempts = 1;
+  world->at(1).set_retry_policy(policy);
+  EXPECT_DEATH((void)world->at(1).recv(1, 0, 99), "abort_on_failure");
 }
 
 INSTANTIATE_TEST_SUITE_P(Transports, ConformanceTest,
@@ -152,9 +187,9 @@ INSTANTIATE_TEST_SUITE_P(Transports, ConformanceTest,
 // descriptor readable (POLLHUP) forever.  That EOF sits on a frame
 // boundary and must not be mistaken for a torn frame -- buffered frames
 // stay deliverable, drains stop cleanly, and only a recv that can never be
-// satisfied aborts (regression: large-payload runs used to die with
-// "socket closed mid-frame" when the progress engine polled an exited
-// peer).
+// satisfied fails, with the typed kPeerExited verdict (regression:
+// large-payload runs used to die with "socket closed mid-frame" when the
+// progress engine polled an exited peer).
 TEST(SocketPeerExit, CleanExitIsNotATornFrame) {
   auto mesh = make_socket_mesh(2);
   auto gone = std::make_unique<SocketCommunicator>(2, 0, std::move(mesh[0]), 500);
@@ -167,7 +202,16 @@ TEST(SocketPeerExit, CleanExitIsNotATornFrame) {
   EXPECT_EQ(survivor.recv(1, 0, 1), (Payload{1, 2, 3}));
   EXPECT_EQ(survivor.recv(1, 0, 2), (Payload{4}));
   EXPECT_FALSE(survivor.has_pending(1, 0, 1));  // no hang on the readable EOF
-  EXPECT_DEATH((void)survivor.recv(1, 0, 1), "peer exited");
+  try {
+    (void)survivor.recv(1, 0, 1);
+    FAIL() << "recv from an exited peer must throw";
+  } catch (const CommError& e) {
+    EXPECT_EQ(e.status(), CommStatus::kPeerExited) << e.what();
+  }
+  // The verdict is sticky and fast: no timeout wait on later calls either.
+  Payload out;
+  EXPECT_EQ(survivor.try_recv(1, 0, 1, out), CommStatus::kPeerExited);
+  EXPECT_EQ(survivor.try_send(1, 0, 3, Payload{9}), CommStatus::kPeerExited);
 }
 
 }  // namespace

@@ -1,0 +1,109 @@
+// Checkpoint-write atomicity: write_file_bytes commits through a temp
+// file + rename, so a crash at any point -- including SIGKILL between
+// fsync and rename, the worst legal moment -- leaves the previous file
+// intact.  The kill test uses a REAL forked process (run_ranks) so the
+// SIGKILL is genuine, and proves the launcher decodes the signal death.
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "comms/socket.h"
+#include "io/checkpoint.h"
+#include "io/format.h"
+#include "qcd/metropolis.h"
+#include "sve/sve.h"
+
+namespace svelat::io {
+namespace {
+
+using S = simd::SimdComplex<double, simd::kVLB256, simd::SveFcmla>;
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "svelat_atomic_" + name;
+}
+
+TEST(AtomicWrite, CommitsBytesAndLeavesNoTempBehind) {
+  const std::string path = temp_path("plain.bin");
+  const std::vector<std::uint8_t> bytes{1, 2, 3, 4, 5};
+  write_file_bytes(path, bytes);
+  EXPECT_EQ(read_file_bytes(path), bytes);
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+
+  const std::vector<std::uint8_t> next{9, 8, 7};
+  write_file_bytes(path, next);  // overwrite goes through the same rename
+  EXPECT_EQ(read_file_bytes(path), next);
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  std::filesystem::remove(path);
+}
+
+TEST(AtomicWrite, KillBetweenSyncAndRenamePreservesThePreviousFile) {
+  const std::string path = temp_path("killed.bin");
+  const std::vector<std::uint8_t> original{0xAA, 0xBB, 0xCC};
+  write_file_bytes(path, original);
+
+  // A real forked process dies by SIGKILL at the write-fault hook -- after
+  // the replacement bytes are fully written and synced to the temp file,
+  // but before the rename commits them.
+  const auto report = comms::run_ranks(1, [&](int, comms::SocketCommunicator&) {
+    set_write_fault_hook(+[] { ::raise(SIGKILL); });
+    write_file_bytes(path, std::vector<std::uint8_t>(1024, 0x55));
+    return 0;  // unreachable
+  });
+
+  EXPECT_FALSE(report.ok);
+  EXPECT_FALSE(report.ranks[0].exited);  // signal death, not an exit code
+  EXPECT_EQ(report.ranks[0].term_signal, SIGKILL);
+  // The destination still holds the ORIGINAL bytes; only the temp file
+  // (never linked in) records the interrupted write.
+  EXPECT_EQ(read_file_bytes(path), original);
+  std::filesystem::remove(path);
+  std::filesystem::remove(path + ".tmp");
+}
+
+TEST(AtomicWrite, KillDuringCheckpointWritePreservesThePreviousCheckpoint) {
+  // The end-to-end shape the recovery story depends on: checkpoint N is on
+  // disk, the writer dies mid-write of checkpoint N+1, and a restarted
+  // process reloads checkpoint N bitwise and resumes the chain from it.
+  sve::set_vector_length(256);
+  lattice::GridCartesian grid(
+      {4, 4, 4, 4}, lattice::GridCartesian::default_simd_layout(S::Nsimd()));
+  qcd::GaugeField<S> gauge(&grid);
+  qcd::random_gauge(SiteRNG(99), gauge);
+  qcd::MarkovState state;
+  state.params.beta = 5.7;
+  state.params.epsilon = 0.24;
+  state.params.seed = 11;
+  qcd::advance(gauge, state, 1);
+
+  const std::string path = temp_path("chain.svgf");
+  save_checkpoint(path, gauge, state);
+  const std::vector<std::uint8_t> valid = read_file_bytes(path);
+
+  const auto report = comms::run_ranks(1, [&](int, comms::SocketCommunicator&) {
+    qcd::GaugeField<S> g(&grid);
+    qcd::MarkovState st = load_checkpoint(path, g);
+    qcd::advance(g, st, 1);
+    set_write_fault_hook(+[] { ::raise(SIGKILL); });
+    save_checkpoint(path, g, st);  // dies between fsync and rename
+    return 0;
+  });
+  EXPECT_FALSE(report.ok);
+  EXPECT_EQ(report.ranks[0].term_signal, SIGKILL);
+
+  // The surviving file is byte-identical to the pre-crash checkpoint and
+  // still loads; the resumed chain continues from it bitwise.
+  EXPECT_EQ(read_file_bytes(path), valid);
+  qcd::GaugeField<S> reloaded(&grid);
+  const qcd::MarkovState rstate = load_checkpoint(path, reloaded);
+  EXPECT_EQ(rstate.sweeps_done, state.sweeps_done);
+  EXPECT_EQ(encode_gauge(reloaded), encode_gauge(gauge));
+  std::filesystem::remove(path);
+  std::filesystem::remove(path + ".tmp");
+}
+
+}  // namespace
+}  // namespace svelat::io

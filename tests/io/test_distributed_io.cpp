@@ -189,5 +189,37 @@ TEST_F(DistributedIoTest, RealRankProcessesRoundTripOverSockets) {
   EXPECT_TRUE(report.ok) << report.describe();
 }
 
+TEST_F(DistributedIoTest, ManifestBarrierTimesOutWithTypedError) {
+  // Rank 0 never publishes the ready token (it crashed, or stalled past
+  // the transport's bound): the waiting rank must get a typed IoError
+  // instead of hanging forever.  Bounded by timeout x retry attempts.
+  comms::SocketWorld world(2, /*recv_timeout_ms=*/50);
+  try {
+    manifest_barrier(world.rank(1), 1);
+    FAIL() << "barrier with a silent rank 0 must throw";
+  } catch (const IoError& e) {
+    EXPECT_EQ(e.code(), IoErrorCode::kBarrierTimeout);
+    EXPECT_NE(std::string(e.what()).find("never arrived"), std::string::npos);
+  }
+}
+
+TEST_F(DistributedIoTest, ManifestBarrierFailsFastWhenRankZeroExited) {
+  // A crashed rank 0 closes its stream: the waiting rank's verdict is
+  // kPeerExited, surfaced through the same typed barrier error -- without
+  // burning the full timeout.
+  auto mesh = comms::make_socket_mesh(2);
+  auto rank0 =
+      std::make_unique<comms::SocketCommunicator>(2, 0, std::move(mesh[0]), 5000);
+  comms::SocketCommunicator rank1(2, 1, std::move(mesh[1]), 5000);
+  rank0.reset();  // rank 0 is gone before ever publishing
+  try {
+    manifest_barrier(rank1, 1);
+    FAIL() << "barrier with an exited rank 0 must throw";
+  } catch (const IoError& e) {
+    EXPECT_EQ(e.code(), IoErrorCode::kBarrierTimeout);
+    EXPECT_NE(std::string(e.what()).find("peer exited"), std::string::npos);
+  }
+}
+
 }  // namespace
 }  // namespace svelat::io

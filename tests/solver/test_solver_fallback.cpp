@@ -1,0 +1,189 @@
+// Graceful solver degradation: the stall guard detects divergence and
+// stagnation, and FallbackPolicy::kAuto rescues a failed solve on the
+// robust configuration while recording the degradation in SolverResult
+// (contract in docs/FAULTS.md).  All knobs default OFF: the existing
+// starved-solve behavior (plain converged == false) is pinned by
+// test_solver_api.cpp.
+#include "solver/solver.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "qcd/qcd.h"
+#include "sve/sve.h"
+
+namespace svelat::solver {
+namespace {
+
+using S = simd::SimdComplex<double, simd::kVLB512, simd::SveFcmla>;
+using Fermion = qcd::LatticeFermion<S>;
+
+// --- StallGuard unit behavior -----------------------------------------------
+
+TEST(StallGuard, DisabledGuardNeverFires) {
+  StallGuard guard;  // window 0, factor 0: both triggers off
+  for (double rel : {1.0, 10.0, 1e6, 1e6, 1e6, 1e6, 1e6})
+    EXPECT_EQ(guard.check(rel), StallReason::kNone);
+}
+
+TEST(StallGuard, DivergenceFiresOnResidualExplosion) {
+  StallGuard guard{/*window=*/0, /*divergence_factor=*/10.0};
+  EXPECT_EQ(guard.check(1.0), StallReason::kNone);    // first best
+  EXPECT_EQ(guard.check(0.5), StallReason::kNone);    // improving
+  EXPECT_EQ(guard.check(4.9), StallReason::kNone);    // worse, below 10x best
+  EXPECT_EQ(guard.check(5.1), StallReason::kDiverged);  // > 10 x 0.5
+}
+
+TEST(StallGuard, StallFiresAfterAWindowWithoutANewBest) {
+  StallGuard guard{/*window=*/3, /*divergence_factor=*/0.0};
+  EXPECT_EQ(guard.check(1.0), StallReason::kNone);
+  EXPECT_EQ(guard.check(1.0), StallReason::kNone);  // 1 without progress
+  EXPECT_EQ(guard.check(1.0), StallReason::kNone);  // 2
+  EXPECT_EQ(guard.check(1.0), StallReason::kStalled);  // 3: the window is full
+}
+
+TEST(StallGuard, ProgressResetsTheStallWindow) {
+  StallGuard guard{/*window=*/2, /*divergence_factor=*/0.0};
+  EXPECT_EQ(guard.check(1.0), StallReason::kNone);
+  EXPECT_EQ(guard.check(1.0), StallReason::kNone);   // 1 stalled step
+  EXPECT_EQ(guard.check(0.9), StallReason::kNone);   // new best: window resets
+  EXPECT_EQ(guard.check(0.95), StallReason::kNone);  // 1
+  EXPECT_EQ(guard.check(0.95), StallReason::kStalled);  // 2
+}
+
+// --- facade degradation -----------------------------------------------------
+
+class SolverFallbackTest : public ::testing::Test {
+ protected:
+  static constexpr double kMass = 0.25;
+
+  void SetUp() override {
+    sve::set_vector_length(512);
+    grid_ = std::make_unique<lattice::GridCartesian>(
+        lattice::Coordinate{4, 4, 4, 8},
+        lattice::GridCartesian::default_simd_layout(S::Nsimd()));
+    gauge_ = std::make_unique<qcd::GaugeField<S>>(grid_.get());
+    qcd::random_gauge(SiteRNG(42), *gauge_);
+    b_ = std::make_unique<Fermion>(grid_.get());
+    gaussian_fill(SiteRNG(31), *b_);
+  }
+
+  /// A mixed-precision configuration that deterministically stalls: with
+  /// zero inner iterations every defect-correction cycle returns a zero
+  /// correction, so the outer residual is exactly constant from the first
+  /// restart on.
+  SolverParams stalling_mixed() const {
+    return SolverParams{}
+        .with_algorithm(Algorithm::kMixedCG)
+        .with_preconditioner(Preconditioner::kSchurEvenOdd)
+        .with_tolerance(1e-9)
+        .with_inner_max_iterations(0)
+        .with_max_restarts(10)
+        .with_stall_window(2);
+  }
+
+  std::unique_ptr<lattice::GridCartesian> grid_;
+  std::unique_ptr<qcd::GaugeField<S>> gauge_;
+  std::unique_ptr<Fermion> b_;
+};
+
+TEST_F(SolverFallbackTest, ArmedGuardCutsAStalledSolveShortAndReportsIt) {
+  SolverParams p = stalling_mixed();  // fallback stays kNone here
+  WilsonSolver<S> solver(*gauge_, kMass, p);
+  Fermion x(grid_.get());
+  x.set_zero();
+  const SolverResult res = solver.solve(*b_, x);
+
+  EXPECT_FALSE(res.converged);
+  EXPECT_EQ(res.stall, StallReason::kStalled);
+  EXPECT_FALSE(res.fallback_used);
+  // The guard fired well before the restart cap burned all 10 cycles.
+  EXPECT_LT(res.iterations, 10);
+  EXPECT_NE(res.summary().find("stalled"), std::string::npos) << res.summary();
+}
+
+TEST_F(SolverFallbackTest, AutoFallbackRescuesAStalledMixedSolve) {
+  SolverParams p = stalling_mixed().with_fallback(FallbackPolicy::kAuto);
+  WilsonSolver<S> solver(*gauge_, kMass, p);
+  Fermion x(grid_.get());
+  x.set_zero();
+  const SolverResult res = solver.solve(*b_, x);
+
+  // The fallback (full-precision Schur CG) converges where the degraded
+  // mixed solve could not, and the result records the whole story.
+  EXPECT_TRUE(res.converged);
+  EXPECT_EQ(res.algorithm, Algorithm::kCG);
+  EXPECT_TRUE(res.fallback_used);
+  EXPECT_EQ(res.fallback_from, Algorithm::kMixedCG);
+  EXPECT_EQ(res.stall, StallReason::kStalled);
+  EXPECT_LE(res.true_residual, 1e-8);
+
+  const std::string s = res.summary();
+  EXPECT_NE(s.find("fallback from mixed_cg"), std::string::npos) << s;
+  EXPECT_NE(s.find("stalled"), std::string::npos) << s;
+
+  // And the solution really solves the system: check against a direct
+  // full-precision solve.
+  Fermion x_ref(grid_.get());
+  x_ref.set_zero();
+  WilsonSolver<S> direct(*gauge_, kMass,
+                         SolverParams{}
+                             .with_algorithm(Algorithm::kCG)
+                             .with_preconditioner(Preconditioner::kSchurEvenOdd)
+                             .with_tolerance(1e-9));
+  const SolverResult ref = direct.solve(*b_, x_ref);
+  ASSERT_TRUE(ref.converged);
+  Fermion diff(grid_.get());
+  diff = x - x_ref;
+  EXPECT_LE(std::sqrt(norm2(diff) / norm2(x_ref)), 1e-6);
+}
+
+TEST_F(SolverFallbackTest, AutoFallbackRescuesAnIterationStarvedBiCGSTAB) {
+  // BiCGSTAB starved to 2 iterations at a tight tolerance cannot
+  // converge; kAuto retries on CG with the full budget and reports the
+  // degradation chain.
+  SolverParams p = SolverParams{}
+                       .with_algorithm(Algorithm::kBiCGSTAB)
+                       .with_preconditioner(Preconditioner::kSchurEvenOdd)
+                       .with_tolerance(1e-9)
+                       .with_max_iterations(2)
+                       .with_fallback(FallbackPolicy::kAuto);
+  WilsonSolver<S> solver(*gauge_, kMass, p);
+  Fermion x(grid_.get());
+  x.set_zero();
+  const SolverResult res = solver.solve(*b_, x);
+
+  // The fallback inherits max_iterations = 2 as well -- so it converges
+  // only if CG on the Schur system needs <= 2 iterations, which it does
+  // not.  What matters: the result reports the fallback attempt and the
+  // final verdict honestly.
+  EXPECT_TRUE(res.fallback_used);
+  EXPECT_EQ(res.fallback_from, Algorithm::kBiCGSTAB);
+  EXPECT_EQ(res.algorithm, Algorithm::kCG);
+  EXPECT_EQ(res.first_attempt_iterations, 2);
+}
+
+TEST_F(SolverFallbackTest, ConvergedSolvesNeverFallBack) {
+  SolverParams p = SolverParams{}
+                       .with_algorithm(Algorithm::kBiCGSTAB)
+                       .with_preconditioner(Preconditioner::kSchurEvenOdd)
+                       .with_tolerance(1e-9)
+                       .with_max_iterations(800)
+                       .with_stall_window(20)
+                       .with_divergence_factor(100.0)
+                       .with_fallback(FallbackPolicy::kAuto);
+  WilsonSolver<S> solver(*gauge_, kMass, p);
+  Fermion x(grid_.get());
+  x.set_zero();
+  const SolverResult res = solver.solve(*b_, x);
+
+  EXPECT_TRUE(res.converged);
+  EXPECT_EQ(res.algorithm, Algorithm::kBiCGSTAB);  // no degradation occurred
+  EXPECT_FALSE(res.fallback_used);
+  EXPECT_EQ(res.stall, StallReason::kNone);
+}
+
+}  // namespace
+}  // namespace svelat::solver
