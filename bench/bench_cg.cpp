@@ -22,9 +22,11 @@
 // SolverParams each section ran with.
 #include <cstdio>
 #include <cstring>
+#include <initializer_list>
 #include <iterator>
 
 #include "core/svelat.h"
+#include "support/metrics.h"
 
 namespace {
 
@@ -140,6 +142,41 @@ SchurComparison run_schur_comparison(const PaddedBaseline& baseline) {
   return c;
 }
 
+/// Combined wall-clock rates of a set of metrics regions (bytes, flops
+/// and seconds summed before dividing).
+void combined_rates(std::initializer_list<const char*> regions, double* gb,
+                    double* gflop) {
+  double bytes = 0.0, flops = 0.0, seconds = 0.0;
+  for (const char* name : regions) {
+    const metrics::RegionStats s = metrics::get(name);
+    bytes += s.bytes;
+    flops += s.flops;
+    seconds += s.seconds;
+  }
+  *gb = seconds > 0.0 ? bytes / seconds / 1e9 : 0.0;
+  *gflop = seconds > 0.0 ? flops / seconds / 1e9 : 0.0;
+}
+
+/// The `wall_clock` JSON section: REAL elapsed time over every solve the
+/// benchmark ran, with GB/s / GFLOP/s from the metrics byte/flop models
+/// (support/metrics.h).  Machine-dependent by nature -- reported for
+/// observability, never gated and never baselined (the instruction gates
+/// above are the only acceptance criteria).  Zeros in
+/// SVELAT_METRICS_DISABLED builds or under SVELAT_METRICS=0.
+void print_wall_clock_json() {
+  const metrics::RegionStats solve = metrics::get("solve");
+  double dhop_gb = 0.0, dhop_gflop = 0.0, linalg_gb = 0.0, linalg_gflop = 0.0;
+  combined_rates({"dhop", "dhop_eo", "dhop_oe"}, &dhop_gb, &dhop_gflop);
+  combined_rates({"cg_linalg", "bicgstab_linalg"}, &linalg_gb, &linalg_gflop);
+  std::printf(
+      "  \"wall_clock\": {\"solves\": %llu, \"seconds\": %.4f, "
+      "\"solves_per_sec\": %.4f,\n"
+      "    \"dhop\": {\"gb_per_sec\": %.4f, \"gflop_per_sec\": %.4f},\n"
+      "    \"solver_linalg\": {\"gb_per_sec\": %.4f, \"gflop_per_sec\": %.4f}},\n",
+      static_cast<unsigned long long>(solve.calls), solve.seconds,
+      solve.calls_per_sec(), dhop_gb, dhop_gflop, linalg_gb, linalg_gflop);
+}
+
 void print_params_json(const solver::SolverParams& p) {
   std::printf("{\"algorithm\": \"%s\", \"preconditioner\": \"%s\", "
               "\"tolerance\": %g, \"max_iterations\": %d}",
@@ -213,7 +250,9 @@ int main(int argc, char** argv) {
                   c.padded_iterations, c.half_iterations, c.solution_delta,
                   i + 1 < std::size(schur) ? "," : "");
     }
-    std::printf("  ],\n  \"iterations_layout_independent\": %s,\n"
+    std::printf("  ],\n");
+    print_wall_clock_json();
+    std::printf("  \"iterations_layout_independent\": %s,\n"
                 "  \"schur_half_gate_055\": %s,\n"
                 "  \"schur_iterations_match_baseline\": %s,\n"
                 "  \"schur_solutions_agree\": %s\n}\n",
@@ -245,6 +284,10 @@ int main(int argc, char** argv) {
               iters_match ? "yes" : "NO");
   std::printf("Schur and unpreconditioned solutions agree (< 1e-12): %s\n",
               solutions_agree ? "yes" : "NO");
+
+  // Wall-clock observability (machine-dependent, never gated).
+  std::printf("\n=== wall clock (this machine; not a gate) ===\n\n%s",
+              metrics::report().c_str());
 
   return (same_iters && ratio_gate && iters_match && solutions_agree) ? 0 : 1;
 }

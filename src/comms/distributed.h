@@ -30,6 +30,7 @@
 
 #include "comms/halo.h"
 #include "lattice/cshift.h"
+#include "support/metrics.h"
 
 namespace svelat::comms {
 
@@ -284,8 +285,15 @@ CommStatus try_post_shift_face(const RankDecomposition& decomp, Communicator& co
   const int R = decomp.ranks();
   const int dest = (disp == 1) ? (rank - 1 + R) % R : (rank + 1) % R;
   const int slice = (disp == 1) ? 0 : decomp.local_dims()[mu] - 1;
-  return comm.send_status(rank, dest, tag,
-                          compress(pack_face(local_in, mu, slice), mode));
+  std::vector<std::uint8_t> wire;
+  {
+    // Wall-clock region over pack + compress only (metrics bytes = wire
+    // bytes); the send leg is transport time, not marshalling throughput.
+    metrics::ScopedTimer mt("cshift_pack");
+    wire = compress(pack_face(local_in, mu, slice), mode);
+    mt.add_bytes(static_cast<double>(wire.size()));
+  }
+  return comm.send_status(rank, dest, tag, wire);
 }
 
 /// Throwing wrapper around try_post_shift_face (the historical API): a
@@ -328,6 +336,9 @@ CommStatus try_complete_shift(const RankDecomposition& decomp, Communicator& com
   const std::size_t face_doubles =
       static_cast<std::size_t>(lattice::volume(dims) / dims[mu]) *
       detail_components<vobj>() * 2;
+  // Decompress + unpack + boundary pokes (metrics bytes = wire bytes);
+  // the recv wait above is transport time, excluded from the region.
+  metrics::ScopedTimer mt("cshift_unpack", static_cast<double>(wire.size()));
   const auto values = decompress(wire, face_doubles, mode);
   const auto sites = unpack_face(values, local_in);
 

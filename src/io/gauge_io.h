@@ -18,6 +18,7 @@
 #include "comms/distributed.h"
 #include "io/format.h"
 #include "qcd/types.h"
+#include "support/metrics.h"
 
 namespace svelat::io {
 
@@ -99,13 +100,21 @@ void gauge_from_file(const FieldFile& file, qcd::GaugeField<S>& g) {
 template <class S>
 void save_gauge(const std::string& path, const qcd::GaugeField<S>& g,
                 const std::vector<std::uint8_t>& meta = {}) {
-  write_file_bytes(path, encode_gauge(g, meta));
+  // Metrics bytes are the on-disk (encoded) size: encode + CRC + the
+  // atomic temp/fsync/rename write all fall inside the region.
+  metrics::ScopedTimer mt("svgf_save");
+  const std::vector<std::uint8_t> bytes = encode_gauge(g, meta);
+  mt.add_bytes(static_cast<double>(bytes.size()));
+  write_file_bytes(path, bytes);
 }
 
 /// Load `path` into `g` (grid dims must match); returns the metadata blob.
 template <class S>
 std::vector<std::uint8_t> load_gauge(const std::string& path, qcd::GaugeField<S>& g) {
-  FieldFile file = read_field_file(path);
+  metrics::ScopedTimer mt("svgf_load");
+  const std::vector<std::uint8_t> bytes = read_file_bytes(path);
+  mt.add_bytes(static_cast<double>(bytes.size()));
+  FieldFile file = decode_field_file(bytes);
   gauge_from_file(file, g);
   return std::move(file.meta);
 }

@@ -22,8 +22,15 @@
 #include "qcd/gamma.h"
 #include "qcd/su3.h"
 #include "qcd/types.h"
+#include "support/metrics.h"
 
 namespace svelat::qcd {
+
+/// Memory-traffic model of one dhop site, in reals: 8 neighbour spinor
+/// reads + 1 spinor write (9 x Ns*Nc complex) plus 8 link reads
+/// (Nc*Nc complex each).  Multiplied by sizeof(real) at the call site.
+inline constexpr double kDhopRealsPerSite =
+    9.0 * (Ns * Nc * 2) + 8.0 * (Nc * Nc * 2);
 
 namespace detail {
 
@@ -80,7 +87,10 @@ class WilsonDirac {
         stencil_(gauge.grid()),
         u_fwd_{gauge.U[0], gauge.U[1], gauge.U[2], gauge.U[3]},
         u_bwd_{lattice::Cshift(gauge.U[0], 0, -1), lattice::Cshift(gauge.U[1], 1, -1),
-               lattice::Cshift(gauge.U[2], 2, -1), lattice::Cshift(gauge.U[3], 3, -1)} {}
+               lattice::Cshift(gauge.U[2], 2, -1), lattice::Cshift(gauge.U[3], 3, -1)},
+        dhop_bytes_(static_cast<double>(grid_->gsites()) * kDhopRealsPerSite *
+                    sizeof(typename S::real_type)),
+        dhop_flops_(kDhopFlopsPerSite * static_cast<double>(grid_->gsites())) {}
 
   const lattice::GridCartesian* grid() const { return grid_; }
   double mass() const { return mass_; }
@@ -89,6 +99,7 @@ class WilsonDirac {
   /// site reads neighbours from `in` (never written here) and writes only
   /// its own out[o].
   void dhop(const Fermion& in, Fermion& out) const {
+    metrics::ScopedTimer mt("dhop", dhop_bytes_, dhop_flops_);
     thread_for(grid_->osites(), [&](std::int64_t o) {
       out[o] = detail::dhop_site<S>(in, stencil_, u_fwd_, u_bwd_, o);
     });
@@ -131,6 +142,8 @@ class WilsonDirac {
   // the backward hop (avoids a shift per application, like Grid).
   LatticeColourMatrix<S> u_fwd_[lattice::Nd];
   LatticeColourMatrix<S> u_bwd_[lattice::Nd];
+  double dhop_bytes_;  ///< wall-clock metrics model of one application
+  double dhop_flops_;
 };
 
 // ---------------------------------------------------------------------------
@@ -167,6 +180,11 @@ class WilsonDiracEO {
                  HalfLatticeColourMatrix<S>(&odd_), HalfLatticeColourMatrix<S>(&odd_)},
         u_bwd_o_{HalfLatticeColourMatrix<S>(&odd_), HalfLatticeColourMatrix<S>(&odd_),
                  HalfLatticeColourMatrix<S>(&odd_), HalfLatticeColourMatrix<S>(&odd_)} {
+    // Each parity-restricted application moves half the full lattice's
+    // sites through the same per-site traffic/flop model.
+    half_bytes_ = static_cast<double>(gauge.grid()->gsites()) / 2.0 *
+                  kDhopRealsPerSite * sizeof(typename S::real_type);
+    half_flops_ = kDhopFlopsPerSite * static_cast<double>(gauge.grid()->gsites()) / 2.0;
     // Split the double-stored gauge (U_mu(x) and U_mu(x - mu^)) by the
     // parity of the *target* site x, so each kernel reads compact links.
     for (int mu = 0; mu < lattice::Nd; ++mu) {
@@ -193,6 +211,7 @@ class WilsonDiracEO {
         in_odd.grid()->parity() == lattice::kParityOdd &&
             out_even.grid()->parity() == lattice::kParityEven,
         "dhop_eo maps an odd-parity field to an even-parity field");
+    metrics::ScopedTimer mt("dhop_eo", half_bytes_, half_flops_);
     thread_for(even_.osites(), [&](std::int64_t h) {
       out_even[h] = detail::dhop_site<S>(in_odd, st_eo_, u_fwd_e_, u_bwd_e_, h);
     });
@@ -204,6 +223,7 @@ class WilsonDiracEO {
         in_even.grid()->parity() == lattice::kParityEven &&
             out_odd.grid()->parity() == lattice::kParityOdd,
         "dhop_oe maps an even-parity field to an odd-parity field");
+    metrics::ScopedTimer mt("dhop_oe", half_bytes_, half_flops_);
     thread_for(odd_.osites(), [&](std::int64_t h) {
       out_odd[h] = detail::dhop_site<S>(in_even, st_oe_, u_fwd_o_, u_bwd_o_, h);
     });
@@ -221,6 +241,8 @@ class WilsonDiracEO {
   HalfLatticeColourMatrix<S> u_bwd_e_[lattice::Nd];
   HalfLatticeColourMatrix<S> u_fwd_o_[lattice::Nd];
   HalfLatticeColourMatrix<S> u_bwd_o_[lattice::Nd];
+  double half_bytes_ = 0.0;  ///< wall-clock metrics model per application
+  double half_flops_ = 0.0;
 };
 
 // ---------------------------------------------------------------------------

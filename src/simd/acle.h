@@ -50,9 +50,9 @@ struct acle {
   /// The ACLE ("sizeless") vector type: function-local use only.
   using vt = sve::svreg<T>;
   /// Unsigned integer type of the same width, for TBL index vectors.
-  using index_t =
-      std::conditional_t<sizeof(T) == 8, std::uint64_t,
-                         std::conditional_t<sizeof(T) == 4, std::uint32_t, std::uint16_t>>;
+  using index_t = std::conditional_t<
+      sizeof(T) == 8, std::uint64_t,
+      std::conditional_t<sizeof(T) == 4, std::uint32_t, std::uint16_t>>;
   using ivt = sve::svreg<index_t>;
 
   static constexpr unsigned lanes = static_cast<unsigned>(vec<T, VLB>::size);
@@ -115,7 +115,8 @@ struct acle {
     };
     unsigned log2d = 0;
     while ((1u << log2d) < d) ++log2d;
-    SVELAT_ASSERT_MSG((1u << log2d) == d && d < lanes, "permute distance must be a power of two below the lane count");
+    SVELAT_ASSERT_MSG((1u << log2d) == d && d < lanes,
+                      "permute distance must be a power of two below the lane count");
     return sve::svld1(pg1(), tables[log2d].idx);
   }
 };

@@ -27,7 +27,9 @@ class SimdComplex {
   static constexpr std::size_t vlb = VLB;
 
   /// Number of complex scalars per vector = number of virtual nodes.
-  static constexpr unsigned Nsimd() { return static_cast<unsigned>(vector_type::size / 2); }
+  static constexpr unsigned Nsimd() {
+    return static_cast<unsigned>(vector_type::size / 2);
+  }
 
   SimdComplex() = default;
 
@@ -58,7 +60,9 @@ class SimdComplex {
   friend SimdComplex operator*(const SimdComplex& a, const SimdComplex& b) {
     return SimdComplex(O::mult_complex(a.data_, b.data_));
   }
-  friend SimdComplex operator-(const SimdComplex& a) { return SimdComplex(O::neg(a.data_)); }
+  friend SimdComplex operator-(const SimdComplex& a) {
+    return SimdComplex(O::neg(a.data_));
+  }
 
   SimdComplex& operator+=(const SimdComplex& o) { return *this = *this + o; }
   SimdComplex& operator-=(const SimdComplex& o) { return *this = *this - o; }
@@ -115,7 +119,8 @@ class SimdComplex {
     os << '<';
     for (unsigned i = 0; i < Nsimd(); ++i) {
       if (i) os << ", ";
-      os << a.lane(i).real() << (a.lane(i).imag() < 0 ? "" : "+") << a.lane(i).imag() << 'i';
+      os << a.lane(i).real() << (a.lane(i).imag() < 0 ? "" : "+")
+         << a.lane(i).imag() << 'i';
     }
     return os << '>';
   }

@@ -35,6 +35,11 @@ SolverResult bicgstab(const LinearOp& op, const Field& b, Field& x, double toler
   C rho = innerProduct(r0, r);
   double rr = norm2(r);
 
+  // Wall-clock model of the two linalg clusters between the operator
+  // applications (which are timed at dhop granularity); passes and
+  // flops/complex per kernel as in solver/cg.h's FieldModel.
+  const detail::FieldModel<Field> fm(b);
+
   for (int k = 0; k < max_iterations && rr > stop; ++k) {
     stats.residual_history.push_back(std::sqrt(rr / b2));
     if ((stats.stall = guard.check(stats.residual_history.back())) !=
@@ -42,12 +47,20 @@ SolverResult bicgstab(const LinearOp& op, const Field& b, Field& x, double toler
       break;
 
     op(p, v);
-    const C r0v = innerProduct(r0, v);
-    SVELAT_ASSERT_MSG(std::abs(r0v) > 0.0, "BiCGSTAB breakdown: <r0, v> = 0");
-    const C alpha = rho / r0v;
-
-    const double s2 = axpy_norm2(s, -alpha, v, r);  // s = r - alpha v, |s|^2
+    C alpha;
+    double s2;
+    {
+      // innerProduct (2 passes, 8 f/c) + axpy_norm2 (3 passes, 12 f/c).
+      metrics::ScopedTimer mt("bicgstab_linalg", 5.0 * fm.pass_bytes,
+                              20.0 * fm.n_complex);
+      const C r0v = innerProduct(r0, v);
+      SVELAT_ASSERT_MSG(std::abs(r0v) > 0.0, "BiCGSTAB breakdown: <r0, v> = 0");
+      alpha = rho / r0v;
+      s2 = axpy_norm2(s, -alpha, v, r);  // s = r - alpha v, |s|^2
+    }
     if (s2 <= stop) {  // early half-step convergence
+      metrics::ScopedTimer mt("bicgstab_linalg", 3.0 * fm.pass_bytes,
+                              8.0 * fm.n_complex);
       axpy(x, alpha, p, x);
       rr = s2;
       stats.iterations = k + 1;
@@ -55,25 +68,31 @@ SolverResult bicgstab(const LinearOp& op, const Field& b, Field& x, double toler
     }
 
     op(s, t);
-    const double t2 = norm2(t);
-    SVELAT_ASSERT_MSG(t2 > 0.0, "BiCGSTAB breakdown: ||t|| = 0");
-    const C omega = innerProduct(t, s) / t2;
+    {
+      // norm2 + 2 innerProduct + 4 axpy + the fused axpy_norm2:
+      // 20 field passes, 64 flops per complex element.
+      metrics::ScopedTimer mt("bicgstab_linalg", 20.0 * fm.pass_bytes,
+                              64.0 * fm.n_complex);
+      const double t2 = norm2(t);
+      SVELAT_ASSERT_MSG(t2 > 0.0, "BiCGSTAB breakdown: ||t|| = 0");
+      const C omega = innerProduct(t, s) / t2;
 
-    // x += alpha p + omega s
-    axpy(x, alpha, p, x);
-    axpy(x, omega, s, x);
-    // r = s - omega t, fused with the norm
-    rr = axpy_norm2(r, -omega, t, s);
-    stats.iterations = k + 1;
+      // x += alpha p + omega s
+      axpy(x, alpha, p, x);
+      axpy(x, omega, s, x);
+      // r = s - omega t, fused with the norm
+      rr = axpy_norm2(r, -omega, t, s);
+      stats.iterations = k + 1;
 
-    const C rho_next = innerProduct(r0, r);
-    SVELAT_ASSERT_MSG(std::abs(rho) > 0.0 && std::abs(omega) > 0.0,
-                      "BiCGSTAB breakdown: rho or omega vanished");
-    const C beta = (rho_next / rho) * (alpha / omega);
-    // p = r + beta (p - omega v)
-    axpy(p, -omega, v, p);
-    axpy(p, beta, p, r);
-    rho = rho_next;
+      const C rho_next = innerProduct(r0, r);
+      SVELAT_ASSERT_MSG(std::abs(rho) > 0.0 && std::abs(omega) > 0.0,
+                        "BiCGSTAB breakdown: rho or omega vanished");
+      const C beta = (rho_next / rho) * (alpha / omega);
+      // p = r + beta (p - omega v)
+      axpy(p, -omega, v, p);
+      axpy(p, beta, p, r);
+      rho = rho_next;
+    }
   }
   stats.residual_history.push_back(std::sqrt(rr / b2));
 

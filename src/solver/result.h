@@ -169,6 +169,11 @@ struct SolverResult {
   double rhs_norm = 0.0;       ///< |b|
   double solution_norm = 0.0;  ///< |x| at exit
 
+  /// Wall-clock seconds of the facade-level solve (monotonic clock;
+  /// machine-dependent, never gated).  1 / wall_seconds is the
+  /// solves-per-second figure the wall-clock metrics layer reports.
+  double wall_seconds = 0.0;
+
   std::vector<double> residual_history;  ///< |r|/|b| per outer iteration
 
   // Graceful-degradation report.  When the facade's FallbackPolicy::kAuto

@@ -32,6 +32,8 @@
 #include "solver/mixed_precision.h"
 #include "solver/result.h"
 #include "support/logging.h"
+#include "support/metrics.h"
+#include "support/timer.h"
 
 namespace svelat::solver {
 
@@ -127,6 +129,11 @@ class WilsonSolver {
   /// and the result records the degradation (fallback_used,
   /// fallback_from, first_attempt_iterations).
   SolverResult solve(const Fermion& b, Fermion& x) {
+    // Facade-level wall clock: the "solve" region's calls/sec IS the
+    // solves-per-second figure (no byte/flop model -- the inner kernels
+    // carry those at dhop / linalg granularity).
+    metrics::ScopedTimer mt("solve");
+    StopWatch sw;
     const StallGuard guard{params_.stall_window, params_.divergence_factor};
     SolverResult res;
     switch (params_.algorithm) {
@@ -151,8 +158,12 @@ class WilsonSolver {
     res.target_residual = params_.tolerance;
     res.solution_norm = std::sqrt(norm2(x));
     if (!res.converged && params_.fallback == FallbackPolicy::kAuto &&
-        params_.algorithm != Algorithm::kCG)
-      return fallback_solve(b, x, res);
+        params_.algorithm != Algorithm::kCG) {
+      SolverResult fres = fallback_solve(b, x, res);
+      fres.wall_seconds = sw.seconds();  // first attempt + fallback
+      return fres;
+    }
+    res.wall_seconds = sw.seconds();
     if (params_.verbosity >= 1) log_info() << "WilsonSolver " << res.summary();
     return res;
   }

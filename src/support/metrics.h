@@ -1,0 +1,126 @@
+// Wall-clock metrics: a scoped timer registry with byte / flop accounting.
+//
+// The repo's portable performance currency is simulated SVE instruction
+// counts (sve/sve_counters.h) -- deterministic, machine-independent,
+// right for the paper's per-kernel claims, and blind to threading, NUMA,
+// allocation and wire time.  This layer adds the second axis: real
+// monotonic-clock time per named region, with an attached byte / flop
+// model so every region reports GB/s and GFLOP/s (the
+// `TIMER_VERBOSE_FLOPS` accounting idiom of Qlattice).  Wall-clock
+// figures are machine-dependent by nature: they are NEVER gated or
+// baselined, only reported.
+//
+// Usage at a hot-path call site:
+//
+//   metrics::ScopedTimer t("dhop", bytes_model, flops_model);
+//   ... the threaded kernel ...
+//
+// Each region accumulates calls / seconds / bytes / flops in a global
+// registry; metrics::report() renders the table (text or JSON), and
+// metrics::get()/snapshot() expose the numbers programmatically (the
+// measurement service streams per-job deltas from them).
+//
+// Two off switches, so the counted-instruction determinism story is
+// untouched:
+//   - runtime: the SVELAT_METRICS environment variable ("0" / "off"
+//     disables collection; default on), or set_enabled(false);
+//   - compile time: configuring with -DSVELAT_METRICS=OFF defines
+//     SVELAT_METRICS_DISABLED and compiles ScopedTimer to a no-op.
+// Timing never touches field data or the SVE simulator, so numerical
+// results and instruction counts are bitwise identical either way --
+// CI's metrics-determinism lane pins exactly that.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#if defined(SVELAT_METRICS_DISABLED)
+#define SVELAT_METRICS_ENABLED 0
+#else
+#define SVELAT_METRICS_ENABLED 1
+#endif
+
+namespace svelat::metrics {
+
+/// Accumulated cost of one named region.  bytes/flops are whatever model
+/// the call site attached (0 when a region carries no model).
+struct RegionStats {
+  std::uint64_t calls = 0;
+  double seconds = 0.0;
+  double bytes = 0.0;
+  double flops = 0.0;
+
+  double gb_per_sec() const { return seconds > 0.0 ? bytes / seconds / 1e9 : 0.0; }
+  double gflop_per_sec() const { return seconds > 0.0 ? flops / seconds / 1e9 : 0.0; }
+  double calls_per_sec() const {
+    return seconds > 0.0 ? static_cast<double>(calls) / seconds : 0.0;
+  }
+};
+
+/// Runtime collection switch.  Initialized from the SVELAT_METRICS
+/// environment variable on first use ("0"/"off"/"OFF" disable); always
+/// false in SVELAT_METRICS_DISABLED builds.
+bool enabled();
+void set_enabled(bool on);
+
+/// Accumulate one completed region invocation (thread-safe).
+void record(const char* region, double seconds, double bytes, double flops);
+
+/// Stats of one region (zeros when the region never ran).
+RegionStats get(const std::string& region);
+
+/// All regions, sorted by name (stable across runs for reporting).
+std::vector<std::pair<std::string, RegionStats>> snapshot();
+
+/// Drop all accumulated stats (per-job deltas in the measurement service).
+void reset();
+
+/// Human-readable table: one line per region with calls, seconds, GB/s,
+/// GFLOP/s.  Empty registry renders a one-line note.
+std::string report();
+
+/// The same data as a JSON object: {"regions": [{"name": ..., "calls":
+/// ..., "seconds": ..., "bytes": ..., "flops": ..., "gb_per_sec": ...,
+/// "gflop_per_sec": ...}, ...]}.
+std::string report_json();
+
+/// RAII region timer.  Construction samples the monotonic clock (iff
+/// collection is enabled); destruction records the elapsed seconds plus
+/// the byte/flop model into the registry.  The model can be attached at
+/// construction or grown while the region is open (add_bytes/add_flops --
+/// e.g. a loop that discovers its traffic as it runs).
+class ScopedTimer {
+ public:
+#if SVELAT_METRICS_ENABLED
+  explicit ScopedTimer(const char* region, double bytes = 0.0, double flops = 0.0)
+      : region_(region), bytes_(bytes), flops_(flops), armed_(enabled()) {
+    if (armed_) start_ = std::chrono::steady_clock::now();
+  }
+  ~ScopedTimer() {
+    if (!armed_) return;
+    const std::chrono::duration<double> dt = std::chrono::steady_clock::now() - start_;
+    record(region_, dt.count(), bytes_, flops_);
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  void add_bytes(double b) { bytes_ += b; }
+  void add_flops(double f) { flops_ += f; }
+
+ private:
+  const char* region_;
+  double bytes_;
+  double flops_;
+  bool armed_;
+  std::chrono::steady_clock::time_point start_;
+#else
+  explicit ScopedTimer(const char*, double = 0.0, double = 0.0) {}
+  void add_bytes(double) {}
+  void add_flops(double) {}
+#endif
+};
+
+}  // namespace svelat::metrics

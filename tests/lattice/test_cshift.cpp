@@ -47,31 +47,38 @@ struct CshiftChecker {
 };
 
 TEST(Cshift, MatchesNaive512Fcmla) {
-  CshiftChecker<simd::SimdComplex<double, simd::kVLB512, simd::SveFcmla>>::run({4, 4, 4, 4});
+  CshiftChecker<simd::SimdComplex<double, simd::kVLB512, simd::SveFcmla>>::run(
+      {4, 4, 4, 4});
 }
 
 TEST(Cshift, MatchesNaive256Fcmla) {
-  CshiftChecker<simd::SimdComplex<double, simd::kVLB256, simd::SveFcmla>>::run({4, 4, 4, 4});
+  CshiftChecker<simd::SimdComplex<double, simd::kVLB256, simd::SveFcmla>>::run(
+      {4, 4, 4, 4});
 }
 
 TEST(Cshift, MatchesNaive128Fcmla) {
-  CshiftChecker<simd::SimdComplex<double, simd::kVLB128, simd::SveFcmla>>::run({4, 4, 4, 4});
+  CshiftChecker<simd::SimdComplex<double, simd::kVLB128, simd::SveFcmla>>::run(
+      {4, 4, 4, 4});
 }
 
 TEST(Cshift, MatchesNaive512Real) {
-  CshiftChecker<simd::SimdComplex<double, simd::kVLB512, simd::SveReal>>::run({4, 4, 4, 4});
+  CshiftChecker<simd::SimdComplex<double, simd::kVLB512, simd::SveReal>>::run(
+      {4, 4, 4, 4});
 }
 
 TEST(Cshift, MatchesNaive512Generic) {
-  CshiftChecker<simd::SimdComplex<double, simd::kVLB512, simd::Generic>>::run({4, 4, 4, 4});
+  CshiftChecker<simd::SimdComplex<double, simd::kVLB512, simd::Generic>>::run(
+      {4, 4, 4, 4});
 }
 
 TEST(Cshift, MatchesNaiveAnisotropic) {
-  CshiftChecker<simd::SimdComplex<double, simd::kVLB512, simd::SveFcmla>>::run({4, 6, 4, 8});
+  CshiftChecker<simd::SimdComplex<double, simd::kVLB512, simd::SveFcmla>>::run(
+      {4, 6, 4, 8});
 }
 
 TEST(Cshift, MatchesNaiveFloat512) {
-  CshiftChecker<simd::SimdComplex<float, simd::kVLB512, simd::SveFcmla>>::run({4, 4, 4, 4});
+  CshiftChecker<simd::SimdComplex<float, simd::kVLB512, simd::SveFcmla>>::run(
+      {4, 4, 4, 4});
 }
 
 TEST(Cshift, ForwardBackwardIsIdentity) {

@@ -1,0 +1,249 @@
+// The measurement-service scheduler: "SVJR" result-record framing,
+// crash-recovery pruning of the results file, and the end-to-end
+// exactly-once story over REAL forked socket ranks -- a seeded transient
+// soak that must finish in one launch, and a mid-job worker SIGKILL
+// whose job must be requeued onto a survivor with bitwise-identical
+// output.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <csignal>
+#include <cstdint>
+#include <filesystem>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "comms/faults.h"
+#include "comms/socket.h"
+#include "qcd/metropolis.h"
+#include "service/scheduler.h"
+#include "sve/sve.h"
+
+namespace svelat::service {
+namespace {
+
+using S = simd::SimdComplex<double, simd::kVLB256, simd::SveFcmla>;
+
+std::string temp_dir(const std::string& name) {
+  const std::string d = ::testing::TempDir() + "svelat_sched_" + name;
+  std::filesystem::remove_all(d);
+  std::filesystem::create_directories(d);
+  return d;
+}
+
+JobResult sample_result(std::uint64_t id) {
+  JobResult r;
+  r.job_id = id;
+  r.config_id = 3;
+  r.converged = true;
+  r.iterations = 17;
+  r.wall_seconds = 0.25;
+  r.dhop_gb_per_sec = 1.5;
+  r.dhop_gflop_per_sec = 0.7;
+  r.linalg_gb_per_sec = 2.5;
+  r.linalg_gflop_per_sec = 0.5;
+  r.correlator = {4.0, 2.0, 1.0, 0.5, 1.0, 2.0};
+  return r;
+}
+
+MeasurementJob small_job(std::uint64_t id) {
+  MeasurementJob job;
+  job.job_id = id;
+  job.config_id = 0;
+  job.source = {0, 0, 0, 0};
+  job.spin = static_cast<int>((id - 1) % qcd::Ns);
+  job.colour = static_cast<int>((id - 1) % qcd::Nc);
+  job.mass = 0.4;
+  job.tolerance = 1e-7;
+  job.max_iterations = 400;
+  return job;
+}
+
+// --- result records ---------------------------------------------------------
+
+TEST(JobResultRecord, RoundTripsBitwise) {
+  const JobResult r = sample_result(9);
+  const std::vector<std::uint8_t> bytes = encode_result(r);
+  std::size_t off = 0;
+  const JobResult back = decode_result(bytes, off);
+  EXPECT_EQ(off, bytes.size());
+  EXPECT_EQ(back.job_id, r.job_id);
+  EXPECT_EQ(back.config_id, r.config_id);
+  EXPECT_EQ(back.converged, r.converged);
+  EXPECT_EQ(back.iterations, r.iterations);
+  EXPECT_EQ(back.wall_seconds, r.wall_seconds);
+  EXPECT_EQ(back.dhop_gb_per_sec, r.dhop_gb_per_sec);
+  EXPECT_EQ(back.linalg_gflop_per_sec, r.linalg_gflop_per_sec);
+  EXPECT_EQ(back.correlator, r.correlator);
+}
+
+TEST(JobResultRecord, DecodeRejectsCorruption) {
+  std::vector<std::uint8_t> bytes = encode_result(sample_result(1));
+  bytes[20] ^= 0x10;  // inside the payload: CRC must catch it
+  std::size_t off = 0;
+  try {
+    decode_result(bytes, off);
+    FAIL() << "corrupt result record accepted";
+  } catch (const io::IoError& e) {
+    EXPECT_EQ(e.code(), io::IoErrorCode::kCorruptPayload);
+  }
+
+  std::vector<std::uint8_t> torn = encode_result(sample_result(2));
+  torn.resize(torn.size() - 6);
+  off = 0;
+  EXPECT_THROW(decode_result(torn, off), io::IoError);
+}
+
+TEST(ResultsFile, AppendReadAndRecover) {
+  const std::string dir = temp_dir("recover");
+  const std::string results = dir + "/results.svjr";
+  const std::string qpath = dir + "/jobs.svjq";
+
+  // Queue bookkeeping: jobs 1 and 2 done, job 3 still claimed (its owner
+  // "died" before completion was recorded).
+  JobQueue queue(qpath);
+  for (std::uint64_t id : {1u, 2u, 3u}) queue.enqueue(small_job(id));
+  queue.claim_job(1, 1);
+  queue.complete(1);
+  queue.claim_job(2, 2);
+  queue.complete(2);
+  queue.claim_job(3, 1);
+
+  append_result(results, sample_result(1));
+  append_result(results, sample_result(2));
+  append_result(results, sample_result(3));  // orphan: job 3 never reached done
+  {
+    // A torn tail, as a crash mid-append would leave.
+    std::vector<std::uint8_t> tail = encode_result(sample_result(4));
+    tail.resize(10);
+    std::vector<std::uint8_t> whole = io::read_file_bytes(results);
+    whole.insert(whole.end(), tail.begin(), tail.end());
+    io::write_file_bytes(results, whole);
+  }
+
+  EXPECT_EQ(recover_results(results, queue), 1u);  // the orphan for job 3
+  const std::vector<JobResult> kept = read_results(results);  // strict parse
+  ASSERT_EQ(kept.size(), 2u);
+  EXPECT_EQ(kept[0].job_id, 1u);
+  EXPECT_EQ(kept[1].job_id, 2u);
+
+  // Idempotent: a clean file recovers to itself without a rewrite.
+  EXPECT_EQ(recover_results(results, queue), 0u);
+  // A missing file is an empty history.
+  EXPECT_EQ(recover_results(dir + "/absent.svjr", queue), 0u);
+  std::filesystem::remove_all(dir);
+}
+
+// --- end to end over real forked ranks --------------------------------------
+
+struct ServiceFixture {
+  std::string dir;
+  SchedulerConfig cfg;
+  std::vector<MeasurementJob> jobs;
+  std::vector<JobResult> reference;
+
+  explicit ServiceFixture(const std::string& name, int njobs) : dir(temp_dir(name)) {
+    sve::set_vector_length(256);
+    cfg.gauge_path = dir + "/cfg0.svgf";
+    cfg.queue_path = dir + "/jobs.svjq";
+    cfg.results_path = dir + "/results.svjr";
+    cfg.verbosity = 0;
+
+    lattice::GridCartesian grid(
+        {4, 4, 4, 8}, lattice::GridCartesian::default_simd_layout(S::Nsimd()));
+    qcd::GaugeField<S> gauge(&grid);
+    qcd::random_gauge(SiteRNG(2018), gauge);
+    io::save_gauge(cfg.gauge_path, gauge);
+
+    JobQueue queue(cfg.queue_path);
+    for (int n = 1; n <= njobs; ++n) {
+      jobs.push_back(small_job(static_cast<std::uint64_t>(n)));
+      queue.enqueue(jobs.back());
+    }
+    // The uninterrupted in-process truth the service must reproduce
+    // bitwise (children run force-serial; reductions are deterministic).
+    qcd::GaugeField<S> reloaded(&grid);
+    io::load_gauge(cfg.gauge_path, reloaded);
+    for (const MeasurementJob& job : jobs)
+      reference.push_back(measure_job(reloaded, job));
+  }
+
+  /// Exactly-once + bitwise check of the final queue/results state.
+  void verify() const {
+    EXPECT_TRUE(JobQueue::load(cfg.queue_path).all_done());
+    const std::vector<JobResult> results = read_results(cfg.results_path);
+    ASSERT_EQ(results.size(), jobs.size());
+    std::set<std::uint64_t> seen;
+    for (const JobResult& r : results) {
+      EXPECT_TRUE(seen.insert(r.job_id).second)
+          << "job " << r.job_id << " completed more than once";
+      ASSERT_GE(r.job_id, 1u);
+      ASSERT_LE(r.job_id, jobs.size());
+      const JobResult& ref = reference[r.job_id - 1];
+      EXPECT_TRUE(r.converged);
+      EXPECT_EQ(r.iterations, ref.iterations);
+      EXPECT_EQ(r.correlator, ref.correlator) << "job " << r.job_id;
+    }
+    EXPECT_EQ(seen.size(), jobs.size());
+  }
+};
+
+comms::LaunchReport launch_service(const ServiceFixture& fx, int ranks,
+                                   std::uint64_t fault_seed, int crash_rank,
+                                   std::uint64_t crash_at) {
+  comms::LaunchOptions opt;
+  opt.recv_timeout_ms = 3000;
+  opt.log_dir = fx.dir;
+  return comms::run_ranks(
+      ranks,
+      [&](int rank, comms::SocketCommunicator& socket_comm) {
+        comms::FaultSchedule sched;
+        if (fault_seed != 0) sched = comms::FaultSchedule::seeded(fault_seed, rank);
+        if (rank == crash_rank) {
+          comms::FaultEvent crash;
+          crash.op = comms::FaultOp::kSend;
+          crash.at = crash_at;
+          crash.kind = comms::FaultKind::kCrash;
+          sched.events.push_back(crash);
+        }
+        comms::FaultyCommunicator comm(socket_comm, std::move(sched));
+        return scheduler_rank_body<S>(rank, comm, fx.cfg);
+      },
+      opt);
+}
+
+TEST(MeasurementService, SoakUnderSeededTransientsCompletesInOneLaunch) {
+  const ServiceFixture fx("soak", 4);
+  // Seeded delays and spurious EOFs on every rank: the retry ladder must
+  // absorb all of them -- one launch, every rank exits 0, exactly once.
+  const auto report = launch_service(fx, /*ranks=*/3, /*fault_seed=*/2018,
+                                     /*crash_rank=*/-1, 0);
+  EXPECT_TRUE(report.ok) << report.describe();
+  fx.verify();
+  std::filesystem::remove_all(fx.dir);
+}
+
+TEST(MeasurementService, WorkerCrashMidJobIsRequeuedExactlyOnce) {
+  const ServiceFixture fx("crash", 4);
+  // Worker 1 is SIGKILLed at its second result send -- a job it owns is
+  // claimed but unreported.  The supervisor must requeue it onto the
+  // surviving worker and still drain the queue within this launch.
+  const auto report = launch_service(fx, /*ranks=*/3, /*fault_seed=*/0,
+                                     /*crash_rank=*/1, /*crash_at=*/1);
+  EXPECT_FALSE(report.ranks[1].exited);  // the injected SIGKILL really fired
+  EXPECT_EQ(report.ranks[1].term_signal, SIGKILL);
+  EXPECT_TRUE(report.ranks[0].ok()) << report.describe();  // supervisor drained
+  fx.verify();
+
+  // The attempt count records the failure: some job was claimed twice.
+  const JobQueue queue = JobQueue::load(fx.cfg.queue_path);
+  std::uint32_t max_attempts = 0;
+  for (const QueueEntry& e : queue.entries())
+    max_attempts = std::max(max_attempts, e.attempts);
+  EXPECT_GE(max_attempts, 2u);
+  std::filesystem::remove_all(fx.dir);
+}
+
+}  // namespace
+}  // namespace svelat::service
