@@ -17,6 +17,13 @@
 // With Compression::kNone the gathered multi-rank result is bitwise equal
 // to single-rank dhop_via_cshift: the exchanged faces reproduce the
 // periodic wrap exactly and the per-site SIMD arithmetic is lane-wise.
+//
+// These kernels block on each exchange and allocate a shifted field per
+// apply -- fine for one-shot verification, wrong inside an iterative
+// solver.  The production path is comms/distributed_wilson.h's
+// DistributedWilsonDirac: faces posted first, interior swept while the
+// wire is in flight, reusable ghost buffers, and the gauge face
+// exchanged once at construction instead of per application.
 #pragma once
 
 #include "comms/distributed.h"

@@ -1,0 +1,536 @@
+// The distributed Wilson operator inside the solver loop, with
+// compute/comms overlap.
+//
+// DistributedWilsonDirac<S> is the full Wilson matrix M = (4+m) - Dh/2 on
+// one rank's sub-lattice, where every dhop application runs the overlap
+// schedule instead of rank_dhop's blocking per-exchange completion:
+//
+//   phase 1  post      both fermion faces go onto the wire
+//                      (detail::try_post_shift_face, tags 200/201)
+//   phase 2  interior  sweep the sites whose stencils are entirely local
+//                      while the faces are in flight  ["dhop_interior"]
+//   phase 3  wait      recv + decompress + unpack the two ghost faces
+//                      into reusable buffers           ["dhop_wire_wait"]
+//   phase 4  boundary  sweep only the split-dimension edge slices, with
+//                      the off-rank neighbour fetched from the ghost
+//                      buffers                         ["dhop_faces"]
+//
+// The gauge link face (tag 202) crosses the wire ONCE, at construction:
+// u_bwd[split] is a Cshift whose edge slice belongs to the neighbouring
+// rank, and the gauge field never changes during a solve.  Per dhop only
+// the two fermion faces move -- one third of rank_dhop's wire volume --
+// and no shifted whole-field temporaries are allocated.
+//
+// Boundary sites run detail::dhop_site_fetch with a fetch functor that
+// routes exactly the split-dimension off-rank hop into the ghost face
+// (comms::face_site_index addressing); every other hop, and every
+// interior site, is the standard stencil fetch -- so interior and
+// boundary arithmetic is bitwise identical to the single-rank
+// WilsonDirac, which is what makes the rank-equivalence suite exact.
+//
+// Reductions: CG/BiCGSTAB stopping tests must see bitwise-identical
+// scalars on every rank or the ranks fall out of lockstep.  global_*
+// below reproduce support/parallel.h's deterministic chunked reduction
+// over the GLOBAL site order exactly: a carry (total + in-progress
+// chunk) rides a ring rank 0 -> 1 -> ... -> R-1 and the final scalar is
+// broadcast back, so R ranks x any thread count give the bit pattern of
+// the single-rank reduction on the same SIMD layout.  This requires the
+// rank slabs to be contiguous in global outer-site order, i.e. the
+// split dimension must be the slowest-varying one (t, split_dim == 3)
+// -- asserted, since lex order folds dimension 0 fastest.
+//
+// Error propagation: try_dhop and the reductions return/throw through
+// the comms status ladder; the solver facade (solver/solver.h) catches
+// CommError and lands the verdict in SolverResult::comm_status, so a
+// crashed peer mid-solve is a typed failure, not a hang.
+#pragma once
+
+#include <complex>
+#include <cstring>
+#include <vector>
+
+#include "comms/distributed.h"
+#include "qcd/wilson.h"
+
+namespace svelat::comms {
+
+/// Wire tags of the ring reduction (clear of kShiftTagBase/kDhopTagBase
+/// and the scatter/gather collectives).
+inline constexpr int kReduceCarryTag = 300;
+inline constexpr int kReduceBcastTag = 301;
+
+template <class S>
+class DistributedWilsonDirac {
+ public:
+  using Fermion = qcd::LatticeFermion<S>;
+  using sobj = typename Fermion::scalar_object;
+  using scalar_type = typename S::scalar_type;
+
+  DistributedWilsonDirac(const RankDecomposition& decomp, Communicator& comm,
+                         int rank, const qcd::GaugeField<S>& gauge_local,
+                         double mass, Compression mode = Compression::kNone)
+      : decomp_(decomp),
+        comm_(comm),
+        rank_(rank),
+        mass_(mass),
+        mode_(mode),
+        grid_(decomp.grid(rank)),
+        stencil_(grid_),
+        u_fwd_{gauge_local.U[0], gauge_local.U[1], gauge_local.U[2],
+               gauge_local.U[3]},
+        u_bwd_{lattice::Cshift(gauge_local.U[0], 0, -1),
+               lattice::Cshift(gauge_local.U[1], 1, -1),
+               lattice::Cshift(gauge_local.U[2], 2, -1),
+               lattice::Cshift(gauge_local.U[3], 3, -1)} {
+    SVELAT_ASSERT_MSG(gauge_local.grid()->fdimensions() == decomp.local_dims(),
+                      "gauge field must live on this rank's sub-lattice");
+    SVELAT_ASSERT_MSG(grid_->simd_layout()[decomp.split_dim()] == 1,
+                      "split dimension cannot be SIMD-decomposed "
+                      "(use split_simd_layout)");
+    partition_sites();
+    build_models();
+    // The one gauge exchange: u_bwd[split]'s edge slice is the
+    // neighbouring rank's face.  Post now, complete lazily at first use
+    // so all-ranks in-process construction (everyone posts before anyone
+    // receives) works single-threaded.
+    detail::post_shift_face(decomp_, comm_, rank_, u_fwd_[decomp_.split_dim()],
+                            -1, mode_, kDhopTagBase + 2);
+  }
+
+  // Stencil tables and ghost buffers are sized to this rank; copying an
+  // operator mid-solve is never intended.
+  DistributedWilsonDirac(const DistributedWilsonDirac&) = delete;
+  DistributedWilsonDirac& operator=(const DistributedWilsonDirac&) = delete;
+
+  const lattice::GridCartesian* grid() const { return grid_; }
+  const RankDecomposition& decomp() const { return decomp_; }
+  Communicator& comm() const { return comm_; }
+  int rank() const { return rank_; }
+  double mass() const { return mass_; }
+  Compression mode() const { return mode_; }
+
+  // --- hopping term: the overlap schedule ---------------------------------
+
+  /// out = Dh in, typed-status form: posts faces, sweeps interior while
+  /// the wire is in flight, completes faces, sweeps the boundary.  On a
+  /// non-kOk status `out` is partial -- callers must not use it.
+  CommStatus try_dhop(const Fermion& in, Fermion& out) const {
+    if (const CommStatus st = try_complete_setup(); st != CommStatus::kOk)
+      return st;
+    // Phase 1: both fermion faces onto the wire before any arithmetic.
+    if (const CommStatus st = detail::try_post_shift_face(
+            decomp_, comm_, rank_, in, +1, mode_, kDhopTagBase + 0);
+        st != CommStatus::kOk)
+      return st;
+    if (const CommStatus st = detail::try_post_shift_face(
+            decomp_, comm_, rank_, in, -1, mode_, kDhopTagBase + 1);
+        st != CommStatus::kOk)
+      return st;
+    // Phase 2: interior sites overlap with the in-flight faces.
+    {
+      metrics::ScopedTimer mt("dhop_interior", interior_bytes_, interior_flops_);
+      thread_for(static_cast<std::int64_t>(interior_.size()), [&](std::int64_t i) {
+        const std::int64_t o = interior_[static_cast<std::size_t>(i)];
+        out[o] = qcd::detail::dhop_site<S>(in, stencil_, u_fwd_, u_bwd_, o);
+      });
+    }
+    // Phase 3: the wire wait -- recv, decompress, unpack into the
+    // reusable ghost buffers (bytes = wire bytes actually waited on).
+    {
+      metrics::ScopedTimer mt("dhop_wire_wait");
+      if (const CommStatus st =
+              try_recv_face(in, +1, kDhopTagBase + 0, ghost_fwd_, mt);
+          st != CommStatus::kOk)
+        return st;
+      if (const CommStatus st =
+              try_recv_face(in, -1, kDhopTagBase + 1, ghost_bwd_, mt);
+          st != CommStatus::kOk)
+        return st;
+    }
+    // Phase 4: boundary sites, off-rank hops served from the ghosts.
+    {
+      metrics::ScopedTimer mt("dhop_faces", boundary_bytes_, boundary_flops_);
+      const int split = decomp_.split_dim();
+      const int edge = decomp_.local_dims()[split] - 1;
+      const lattice::Coordinate dims = grid_->fdimensions();
+      thread_for(static_cast<std::int64_t>(boundary_.size()), [&](std::int64_t i) {
+        const std::int64_t o = boundary_[static_cast<std::size_t>(i)];
+        out[o] = qcd::detail::dhop_site_fetch<S>(
+            in, stencil_, u_fwd_, u_bwd_, o,
+            [&](const Fermion& f, const lattice::Stencil& st, std::int64_t s,
+                int dir) -> qcd::SpinColourVector<S> {
+              const bool fwd_cut = dir == split;
+              const bool bwd_cut = dir == lattice::Nd + split;
+              if (fwd_cut || bwd_cut) {
+                // All lanes of an outer site share the split coordinate
+                // (simd_layout[split] == 1), so one lane decides.
+                const lattice::Coordinate x0 = grid_->global_coor(s, 0);
+                if ((fwd_cut && x0[split] == edge) ||
+                    (bwd_cut && x0[split] == 0)) {
+                  const std::vector<sobj>& ghost =
+                      fwd_cut ? ghost_fwd_ : ghost_bwd_;
+                  qcd::SpinColourVector<S> v;
+                  for (unsigned l = 0; l < grid_->isites(); ++l) {
+                    const lattice::Coordinate x = grid_->global_coor(s, l);
+                    tensor::poke_lane(v, l,
+                                      ghost[face_site_index(dims, split, x)]);
+                  }
+                  return v;
+                }
+              }
+              return lattice::fetch_neighbour(f, st, s, dir);
+            });
+      });
+    }
+    return CommStatus::kOk;
+  }
+
+  /// Throwing form of try_dhop (what the solver's operator plumbing uses).
+  void dhop(const Fermion& in, Fermion& out) const {
+    const CommStatus st = try_dhop(in, out);
+    if (st != CommStatus::kOk)
+      throw CommError(st, "distributed dhop failed (rank " +
+                              std::to_string(rank_) + ")");
+  }
+
+  /// Full Wilson operator on this rank's slab: out = (4 + m) in - Dh in / 2.
+  void m(const Fermion& in, Fermion& out) const {
+    SVELAT_ASSERT_MSG(&in != &out, "in-place application is not supported");
+    dhop(in, out);
+    const S diag(static_cast<typename S::real_type>(4.0 + mass_), 0);
+    const S mhalf(static_cast<typename S::real_type>(-0.5), 0);
+    thread_for(grid_->osites(),
+               [&](std::int64_t o) { out[o] = diag * in[o] + mhalf * out[o]; });
+  }
+
+  /// M^dag via gamma_5 hermiticity (gamma5 is site-local: no extra comms).
+  void mdag(const Fermion& in, Fermion& out) const {
+    Fermion tmp(grid_);
+    qcd::apply_gamma5(in, tmp);
+    m(tmp, out);
+    qcd::apply_gamma5(out, out);
+  }
+
+  /// Normal operator M^dag M.  The two dhops inside reuse tags 200/201
+  /// back to back, which is safe: the Communicator contract delivers
+  /// same-(from,to,tag) messages FIFO, and each completes its own faces
+  /// before the next posts.
+  void mdag_m(const Fermion& in, Fermion& out) const {
+    Fermion tmp(grid_);
+    m(in, tmp);
+    mdag(tmp, out);
+  }
+
+  // --- exact global reductions --------------------------------------------
+  //
+  // Each reproduces parallel_reduce's chunked fold over the GLOBAL outer
+  // site order, so the result is bitwise the single-rank reduction.
+
+  /// Global <a, b> = sum over ALL ranks' sites, identical on every rank.
+  scalar_type global_inner(const Fermion& a, const Fermion& b) const {
+    return reduce(ring_reduce([&](std::int64_t o) {
+      return tensor::innerProduct(a[o], b[o]);
+    }));
+  }
+
+  double global_norm2(const Fermion& a) const {
+    return global_inner(a, a).real();
+  }
+
+  /// Fused r = a*x + y with global |r|^2, one site pass (the CG hot path).
+  template <typename A>
+  double global_axpy_norm2(Fermion& r, const A& a, const Fermion& x,
+                           const Fermion& y) const {
+    const S coeff{typename S::scalar_type(a)};
+    return reduce(ring_reduce([&](std::int64_t o) {
+                            const auto v = coeff * x[o] + y[o];
+                            r[o] = v;
+                            return tensor::innerProduct(v, v);
+                          }))
+        .real();
+  }
+
+ private:
+  /// Classify each outer site: interior (all 8 stencil reads rank-local)
+  /// vs boundary (the split-dimension hop crosses the rank cut).  With
+  /// local extent L <= 2 every site is boundary and the interior sweep
+  /// is empty -- the schedule still pipelines the posts first.
+  void partition_sites() {
+    const int split = decomp_.split_dim();
+    const int l_split = decomp_.local_dims()[split];
+    const lattice::Coordinate rdims = grid_->rdimensions();
+    for (std::int64_t o = 0; o < grid_->osites(); ++o) {
+      const lattice::Coordinate oc = lattice::lex_coor(o, rdims);
+      // simd_layout[split] == 1: the outer coordinate IS the site's
+      // split coordinate, identical for every lane.
+      const bool edge = oc[split] == 0 || oc[split] == l_split - 1;
+      (edge ? boundary_ : interior_).push_back(o);
+    }
+  }
+
+  void build_models() {
+    const double site_bytes =
+        qcd::kDhopRealsPerSite * sizeof(typename S::real_type);
+    const double nsimd = static_cast<double>(grid_->isites());
+    interior_bytes_ = site_bytes * nsimd * static_cast<double>(interior_.size());
+    interior_flops_ = qcd::kDhopFlopsPerSite * nsimd *
+                      static_cast<double>(interior_.size());
+    boundary_bytes_ = site_bytes * nsimd * static_cast<double>(boundary_.size());
+    boundary_flops_ = qcd::kDhopFlopsPerSite * nsimd *
+                      static_cast<double>(boundary_.size());
+  }
+
+  /// Complete the construction-time gauge face exchange exactly once.
+  CommStatus try_complete_setup() const {
+    if (!setup_pending_) return CommStatus::kOk;
+    const int split = decomp_.split_dim();
+    const CommStatus st =
+        detail::try_complete_shift(decomp_, comm_, rank_, u_fwd_[split],
+                                   u_bwd_[split], -1, mode_, kDhopTagBase + 2);
+    if (st == CommStatus::kOk) setup_pending_ = false;
+    return st;
+  }
+
+  /// Receive one fermion face into a reusable ghost buffer (pack order:
+  /// comms::face_site_index).  disp follows the shift convention: +1
+  /// ghosts serve the forward hop off the top edge, -1 the backward hop
+  /// off the bottom edge.
+  CommStatus try_recv_face(const Fermion& proto, int disp, int tag,
+                           std::vector<sobj>& ghost,
+                           metrics::ScopedTimer& mt) const {
+    const int R = decomp_.ranks();
+    const int from = (disp == 1) ? (rank_ + 1) % R : (rank_ - 1 + R) % R;
+    if (const CommStatus st = comm_.recv_status(rank_, from, tag, wire_);
+        st != CommStatus::kOk)
+      return st;
+    mt.add_bytes(static_cast<double>(wire_.size()));
+    const int split = decomp_.split_dim();
+    const std::size_t face_doubles =
+        static_cast<std::size_t>(lattice::volume(grid_->fdimensions()) /
+                                 grid_->fdimensions()[split]) *
+        detail_components<qcd::SpinColourVector<S>>() * 2;
+    ghost = unpack_face(decompress(wire_, face_doubles, mode_), proto);
+    return CommStatus::kOk;
+  }
+
+  /// Deterministic cross-rank reduction.  `term(o)` is evaluated exactly
+  /// once per local outer site, in an order equivalent to the global
+  /// one.  A carry {total, open chunk, count} rides the ring 0 -> R-1;
+  /// chunk boundaries (support/parallel.h's kReduceChunk) are counted
+  /// GLOBALLY, so each rank first finishes the chunk its predecessor
+  /// left open, then folds its own whole chunks (threadable -- partials
+  /// from zero, summed in chunk order), then hands the tail on.  Rank
+  /// R-1 finalizes and broadcasts; folding the zero-initialized carry
+  /// adds only +0 terms, which IEEE addition leaves bitwise invisible.
+  template <class TermF>
+  S ring_reduce(TermF&& term) const {
+    const std::int64_t n = grid_->osites();
+    const int R = decomp_.ranks();
+    if (R == 1) return svelat::parallel_reduce(n, S::zero(), term);
+    SVELAT_ASSERT_MSG(
+        decomp_.split_dim() == lattice::Nd - 1,
+        "exact global reductions need rank slabs contiguous in site order: "
+        "split the slowest dimension (t)");
+
+    S total = S::zero();
+    S chunk = S::zero();
+    std::int64_t count = 0;  // sites folded into the open chunk
+    if (rank_ != 0) {
+      if (const CommStatus st = recv_carry(total, chunk, count);
+          st != CommStatus::kOk)
+        throw CommError(st, "reduction carry recv failed (rank " +
+                                std::to_string(rank_) + ")");
+    }
+
+    // Finish the predecessor's open chunk site by site.
+    std::int64_t o = 0;
+    for (; o < n && count != 0; ++o) {
+      chunk += term(o);
+      if (++count == kReduceChunk) {
+        total += chunk;
+        chunk = S::zero();
+        count = 0;
+      }
+    }
+    // Whole chunks: each folded from zero, independent -> threadable.
+    const std::int64_t whole = (n - o) / kReduceChunk;
+    if (whole > 0) {
+      partials_.assign(static_cast<std::size_t>(whole), S::zero());
+      thread_for(whole, [&](std::int64_t c) {
+        S acc = S::zero();
+        const std::int64_t lo = o + c * kReduceChunk;
+        for (std::int64_t k = lo; k < lo + kReduceChunk; ++k) acc += term(k);
+        partials_[static_cast<std::size_t>(c)] = acc;
+      });
+      for (std::int64_t c = 0; c < whole; ++c)
+        total += partials_[static_cast<std::size_t>(c)];
+      o += whole * kReduceChunk;
+    }
+    // Trailing partial chunk rides the carry to the successor.
+    for (; o < n; ++o) {
+      chunk += term(o);
+      ++count;
+    }
+
+    S final = S::zero();
+    if (rank_ != R - 1) {
+      if (const CommStatus st = send_carry(total, chunk, count);
+          st != CommStatus::kOk)
+        throw CommError(st, "reduction carry send failed (rank " +
+                                std::to_string(rank_) + ")");
+      std::vector<std::uint8_t> wire;
+      if (const CommStatus st =
+              comm_.recv_status(rank_, R - 1, kReduceBcastTag, wire);
+          st != CommStatus::kOk)
+        throw CommError(st, "reduction broadcast recv failed (rank " +
+                                std::to_string(rank_) + ")");
+      SVELAT_ASSERT(wire.size() == sizeof(S));
+      std::memcpy(&final, wire.data(), sizeof(S));
+    } else {
+      // gsites is a multiple of kReduceChunk in practice, but fold any
+      // open tail exactly as parallel_reduce would.
+      if (count != 0) total += chunk;
+      final = total;
+      std::vector<std::uint8_t> wire(sizeof(S));
+      std::memcpy(wire.data(), &final, sizeof(S));
+      for (int r = 0; r < R - 1; ++r) {
+        if (const CommStatus st =
+                comm_.send_status(rank_, r, kReduceBcastTag, wire);
+            st != CommStatus::kOk)
+          throw CommError(st, "reduction broadcast send failed (rank " +
+                                  std::to_string(rank_) + ")");
+      }
+    }
+    return final;
+  }
+
+  CommStatus send_carry(const S& total, const S& chunk,
+                        std::int64_t count) const {
+    std::vector<std::uint8_t> wire(2 * sizeof(S) + sizeof(std::int64_t));
+    std::memcpy(wire.data(), &total, sizeof(S));
+    std::memcpy(wire.data() + sizeof(S), &chunk, sizeof(S));
+    std::memcpy(wire.data() + 2 * sizeof(S), &count, sizeof(std::int64_t));
+    return comm_.send_status(rank_, rank_ + 1, kReduceCarryTag, wire);
+  }
+
+  CommStatus recv_carry(S& total, S& chunk, std::int64_t& count) const {
+    std::vector<std::uint8_t> wire;
+    if (const CommStatus st =
+            comm_.recv_status(rank_, rank_ - 1, kReduceCarryTag, wire);
+        st != CommStatus::kOk)
+      return st;
+    SVELAT_ASSERT(wire.size() == 2 * sizeof(S) + sizeof(std::int64_t));
+    std::memcpy(&total, wire.data(), sizeof(S));
+    std::memcpy(&chunk, wire.data() + sizeof(S), sizeof(S));
+    std::memcpy(&count, wire.data() + 2 * sizeof(S), sizeof(std::int64_t));
+    return CommStatus::kOk;
+  }
+
+  const RankDecomposition& decomp_;
+  Communicator& comm_;
+  int rank_;
+  double mass_;
+  Compression mode_;
+  const lattice::GridCartesian* grid_;
+  lattice::Stencil stencil_;
+  // Double-stored gauge like WilsonDirac; u_bwd_[split]'s edge slice is
+  // completed from the neighbour's face at first use.
+  qcd::LatticeColourMatrix<S> u_fwd_[lattice::Nd];
+  mutable qcd::LatticeColourMatrix<S> u_bwd_[lattice::Nd];
+  mutable bool setup_pending_ = true;
+  std::vector<std::int64_t> interior_;  ///< outer sites, all hops local
+  std::vector<std::int64_t> boundary_;  ///< outer sites on the rank cut
+  double interior_bytes_ = 0.0, interior_flops_ = 0.0;
+  double boundary_bytes_ = 0.0, boundary_flops_ = 0.0;
+  // Reusable per-apply buffers (no allocation in the steady state).
+  mutable std::vector<std::uint8_t> wire_;
+  mutable std::vector<sobj> ghost_fwd_;  ///< +split face: psi(x_split = 0) of rank+1
+  mutable std::vector<sobj> ghost_bwd_;  ///< -split face: psi(x_split = L-1) of rank-1
+  mutable std::vector<S> partials_;      ///< ring_reduce chunk partials
+};
+
+/// A rank-local fermion bound to its distributed operator, so the generic
+/// Krylov loops (solver/cg.h, solver/bicgstab.h) run unchanged on R ranks:
+/// `Field r(b.grid())` clones the binding, and the ADL reductions below
+/// route through the operator's exact global ring reduction -- every rank
+/// sees bitwise-identical alphas/betas/residuals and stays in lockstep.
+template <class S>
+class DistributedFermion {
+ public:
+  using Fermion = qcd::LatticeFermion<S>;
+  using vector_object = qcd::SpinColourVector<S>;
+  using simd_type = S;
+
+  explicit DistributedFermion(const DistributedWilsonDirac<S>* op)
+      : op_(op), field(op->grid()) {}
+
+  /// What `Field r(b.grid())` must rebuild: the operator binding.
+  const DistributedWilsonDirac<S>* grid() const { return op_; }
+  std::int64_t osites() const { return field.osites(); }
+  const DistributedWilsonDirac<S>& op() const { return *op_; }
+
+  void set_zero() { field.set_zero(); }
+
+ private:
+  const DistributedWilsonDirac<S>* op_;
+
+ public:
+  Fermion field;  ///< this rank's slab
+};
+
+// ADL surface consumed by the generic solver loops.  Linear updates are
+// site-local (no comms); inner products are exact global reductions.
+template <class S>
+double norm2(const DistributedFermion<S>& a) {
+  return a.op().global_norm2(a.field);
+}
+
+template <class S>
+typename S::scalar_type innerProduct(const DistributedFermion<S>& a,
+                                     const DistributedFermion<S>& b) {
+  return a.op().global_inner(a.field, b.field);
+}
+
+template <class S, typename A>
+void axpy(DistributedFermion<S>& r, const A& a, const DistributedFermion<S>& x,
+          const DistributedFermion<S>& y) {
+  lattice::axpy(r.field, a, x.field, y.field);
+}
+
+template <class S, typename A>
+double axpy_norm2(DistributedFermion<S>& r, const A& a,
+                  const DistributedFermion<S>& x,
+                  const DistributedFermion<S>& y) {
+  return r.op().global_axpy_norm2(r.field, a, x.field, y.field);
+}
+
+template <class S>
+DistributedFermion<S> operator-(const DistributedFermion<S>& a,
+                                const DistributedFermion<S>& b) {
+  DistributedFermion<S> r(&a.op());
+  r.field = a.field - b.field;
+  return r;
+}
+
+/// Operator adapter with the WilsonDirac m/mdag/mdag_m surface over
+/// DistributedFermion -- the `Op` the operator-generic solve_wilson /
+/// solve_wilson_bicgstab entries consume.
+template <class S>
+struct DistributedWilsonOp {
+  const DistributedWilsonDirac<S>* d;
+
+  using Fermion = DistributedFermion<S>;
+
+  void m(const Fermion& in, Fermion& out) const { d->m(in.field, out.field); }
+  void mdag(const Fermion& in, Fermion& out) const {
+    d->mdag(in.field, out.field);
+  }
+  void mdag_m(const Fermion& in, Fermion& out) const {
+    d->mdag_m(in.field, out.field);
+  }
+  static void apply_gamma5(const Fermion& in, Fermion& out) {
+    qcd::apply_gamma5(in.field, out.field);
+  }
+};
+
+}  // namespace svelat::comms

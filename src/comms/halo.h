@@ -60,6 +60,21 @@ inline void face_coor(int mu, int slice, int a, int b, int c, lattice::Coordinat
 }
 
 
+/// Index of a site within its face's pack order: the position pack_face /
+/// unpack_face assign to the site whose non-mu coordinates are x's.  Lets
+/// consumers address individual ghost sites of a received face (the
+/// distributed operator's boundary sweep) without materializing a shifted
+/// field.
+inline std::size_t face_site_index(const lattice::Coordinate& dims, int mu,
+                                   const lattice::Coordinate& x) {
+  std::size_t idx = 0;
+  for (int nu = 0; nu < lattice::Nd; ++nu) {
+    if (nu == mu) continue;
+    idx = idx * static_cast<std::size_t>(dims[nu]) + static_cast<std::size_t>(x[nu]);
+  }
+  return idx;
+}
+
 /// Face of a field: all sites with x[mu] == slice, packed as flat doubles
 /// (real, imag per component) in lexicographic face order.
 template <class vobj>

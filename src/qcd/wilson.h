@@ -34,22 +34,22 @@ inline constexpr double kDhopRealsPerSite =
 
 namespace detail {
 
-/// One site of the hopping term, Eq. (1): the eight projected hops
-/// accumulated into a spinor.  Generic over the stencil table and field
-/// types so the full-lattice and half-checkerboard kernels share the
-/// identical arithmetic (bitwise: same inputs give the same site result).
-/// `o` simultaneously indexes the table, the gauge fields and the output
-/// site; the table routes neighbour reads into `in` (same grid for the
-/// full Stencil, the opposite-parity half grid for StencilRedBlack).
-template <class S, class FermT, class TableT, class UFieldT>
-inline SpinColourVector<S> dhop_site(const FermT& in, const TableT& st,
-                                     const UFieldT* u_fwd, const UFieldT* u_bwd,
-                                     std::int64_t o) {
+/// One site of the hopping term, Eq. (1), generic over the neighbour
+/// source: `fetch(in, st, o, dir)` returns the spinor one hop away in
+/// direction dir (0..Nd-1 forward, Nd..2Nd-1 backward).  The distributed
+/// operator's boundary sweep routes split-dimension hops into its halo
+/// ghost buffers through this hook; everything else (spin projection,
+/// SU(3) mac, reconstruction) is shared, so interior and boundary sites
+/// run bitwise-identical arithmetic.
+template <class S, class FermT, class TableT, class UFieldT, class FetchF>
+inline SpinColourVector<S> dhop_site_fetch(const FermT& in, const TableT& st,
+                                           const UFieldT* u_fwd, const UFieldT* u_bwd,
+                                           std::int64_t o, FetchF&& fetch) {
   using namespace lattice;
   SpinColourVector<S> acc = tensor::Zero<SpinColourVector<S>>();
   for (int mu = 0; mu < Nd; ++mu) {
     {  // forward hop: U_{x,mu} (1 + gamma_mu) psi_{x+mu}
-      const SpinColourVector<S> nbr = fetch_neighbour(in, st, o, mu);
+      const SpinColourVector<S> nbr = fetch(in, st, o, mu);
       HalfSpinColourVector<S> h = spin_project(mu, +1, nbr);
       HalfSpinColourVector<S> uh;
       const auto& u = u_fwd[mu][o];
@@ -57,7 +57,7 @@ inline SpinColourVector<S> dhop_site(const FermT& in, const TableT& st,
       spin_reconstruct_accum(mu, +1, uh, acc);
     }
     {  // backward hop: U^dag_{x-mu,mu} (1 - gamma_mu) psi_{x-mu}
-      const SpinColourVector<S> nbr = fetch_neighbour(in, st, o, Nd + mu);
+      const SpinColourVector<S> nbr = fetch(in, st, o, Nd + mu);
       HalfSpinColourVector<S> h = spin_project(mu, -1, nbr);
       HalfSpinColourVector<S> uh;
       const auto& u = u_bwd[mu][o];
@@ -66,6 +66,22 @@ inline SpinColourVector<S> dhop_site(const FermT& in, const TableT& st,
     }
   }
   return acc;
+}
+
+/// The classic single-source form: every neighbour comes from the stencil
+/// table over `in`.  Generic over the stencil table and field types so the
+/// full-lattice and half-checkerboard kernels share the identical
+/// arithmetic (bitwise: same inputs give the same site result).  `o`
+/// simultaneously indexes the table, the gauge fields and the output site;
+/// the table routes neighbour reads into `in` (same grid for the full
+/// Stencil, the opposite-parity half grid for StencilRedBlack).
+template <class S, class FermT, class TableT, class UFieldT>
+inline SpinColourVector<S> dhop_site(const FermT& in, const TableT& st,
+                                     const UFieldT* u_fwd, const UFieldT* u_bwd,
+                                     std::int64_t o) {
+  return dhop_site_fetch<S>(in, st, u_fwd, u_bwd, o,
+                            [](const FermT& f, const TableT& t, std::int64_t s,
+                               int dir) { return fetch_neighbour(f, t, s, dir); });
 }
 
 }  // namespace detail

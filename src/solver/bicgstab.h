@@ -108,15 +108,13 @@ SolverResult bicgstab(const LinearOp& op, const Field& b, Field& x, double toler
 
 /// Solve M x = b with BiCGSTAB directly on the Wilson operator.  Building
 /// block of the solver::WilsonSolver facade (Algorithm::kBiCGSTAB,
-/// Preconditioner::kNone).
-template <class S>
-SolverResult solve_wilson_bicgstab(const qcd::WilsonDirac<S>& dirac,
-                                   const qcd::LatticeFermion<S>& b,
-                                   qcd::LatticeFermion<S>& x, double tolerance,
-                                   int max_iterations, StallGuard guard = {}) {
-  auto op = [&dirac](const qcd::LatticeFermion<S>& in, qcd::LatticeFermion<S>& out) {
-    dirac.m(in, out);
-  };
+/// Preconditioner::kNone).  Operator-generic like solve_wilson: any `Op`
+/// with m() over `Field`.
+template <class Op, class Field>
+SolverResult solve_wilson_bicgstab(const Op& dirac, const Field& b, Field& x,
+                                   double tolerance, int max_iterations,
+                                   StallGuard guard = {}) {
+  auto op = [&dirac](const Field& in, Field& out) { dirac.m(in, out); };
   return bicgstab(op, b, x, tolerance, max_iterations, guard);
 }
 

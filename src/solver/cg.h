@@ -106,11 +106,15 @@ SolverResult conjugate_gradient(const LinearOp& op, const Field& b, Field& x,
   return stats;
 }
 
-/// M^dag M wrapper for the Wilson operator: the CG target.
-template <class S>
+/// M^dag M wrapper for a Wilson-like operator (anything exposing
+/// m/mdag/mdag_m over a matching field): the CG target.  Generic so the
+/// single-rank qcd::WilsonDirac and the halo-exchanged
+/// comms::DistributedWilsonOp slot in interchangeably.
+template <class Op>
 struct WilsonNormalOp {
-  const qcd::WilsonDirac<S>& dirac;
-  void operator()(const qcd::LatticeFermion<S>& in, qcd::LatticeFermion<S>& out) const {
+  const Op& dirac;
+  template <class Field>
+  void operator()(const Field& in, Field& out) const {
     dirac.mdag_m(in, out);
   }
 };
@@ -118,19 +122,19 @@ struct WilsonNormalOp {
 /// Solve M x = b through the normal equations; returns CG stats plus the
 /// true Wilson residual |b - M x| / |b|.  Building block of the
 /// solver::WilsonSolver facade (Algorithm::kCG, Preconditioner::kNone).
-template <class S>
-SolverResult solve_wilson(const qcd::WilsonDirac<S>& dirac,
-                          const qcd::LatticeFermion<S>& b, qcd::LatticeFermion<S>& x,
+/// Operator-generic: any `Op` with m/mdag/mdag_m over `Field`.
+template <class Op, class Field>
+SolverResult solve_wilson(const Op& dirac, const Field& b, Field& x,
                           double tolerance, int max_iterations,
                           StallGuard guard = {}) {
-  qcd::LatticeFermion<S> mdag_b(b.grid());
+  Field mdag_b(b.grid());
   dirac.mdag(b, mdag_b);
-  SolverResult stats = conjugate_gradient(WilsonNormalOp<S>{dirac}, mdag_b, x,
+  SolverResult stats = conjugate_gradient(WilsonNormalOp<Op>{dirac}, mdag_b, x,
                                           tolerance, max_iterations, guard);
   // Replace the normal-equation norms with the Wilson-system ones.
   const double b2 = norm2(b);
   stats.rhs_norm = std::sqrt(b2);
-  qcd::LatticeFermion<S> mx(b.grid()), r(b.grid());
+  Field mx(b.grid()), r(b.grid());
   dirac.m(x, mx);
   r = b - mx;
   stats.true_residual = std::sqrt(norm2(r) / b2);

@@ -12,6 +12,8 @@
 #include <string>
 #include <vector>
 
+#include "comms/comm_error.h"
+
 namespace svelat::solver {
 
 /// Iterative algorithm driving the outer solve.
@@ -172,9 +174,19 @@ struct SolverResult {
   /// Wall-clock seconds of the facade-level solve (monotonic clock;
   /// machine-dependent, never gated).  1 / wall_seconds is the
   /// solves-per-second figure the wall-clock metrics layer reports.
+  /// On a fallback solve this is the COMBINED first-attempt + fallback
+  /// time; first_attempt_seconds isolates the wasted portion.
   double wall_seconds = 0.0;
+  double first_attempt_seconds = 0.0;  ///< wall time before the fallback began
 
   std::vector<double> residual_history;  ///< |r|/|b| per outer iteration
+
+  // Distributed solves: a communication failure that survived the retry
+  // policy lands here as a typed verdict (converged stays false) instead
+  // of propagating as an abort or a hang.  Always kOk for single-rank
+  // operators.
+  comms::CommStatus comm_status = comms::CommStatus::kOk;
+  std::string comm_detail;  ///< CommError::what() of the failure, if any
 
   // Graceful-degradation report.  When the facade's FallbackPolicy::kAuto
   // rescued a failed solve, the result describes the FALLBACK solve
@@ -201,12 +213,19 @@ inline std::string SolverResult::summary() const {
                   to_string(stall));
   else if (stall != StallReason::kNone)
     std::snprintf(degraded, sizeof(degraded), " [%s]", to_string(stall));
-  char buf[288];
+  char comm[96] = "";
+  if (comm_status != comms::CommStatus::kOk)
+    std::snprintf(comm, sizeof(comm), " [comm failure: %s]",
+                  comms::comm_status_name(comm_status));
+  char wall[48] = "";
+  if (wall_seconds > 0.0)
+    std::snprintf(wall, sizeof(wall), ", %.1f ms", wall_seconds * 1e3);
+  char buf[384];
   std::snprintf(buf, sizeof(buf),
-                "%s/%s: %s, %d iterations%s, |r|/|b| %.3e (true %.3e)%s",
+                "%s/%s: %s, %d iterations%s, |r|/|b| %.3e (true %.3e)%s%s%s",
                 to_string(algorithm), to_string(preconditioner),
                 converged ? "converged" : "NOT converged", iterations, inner,
-                final_residual, true_residual, degraded);
+                final_residual, true_residual, wall, degraded, comm);
   return buf;
 }
 

@@ -76,7 +76,8 @@ inline void mac_conj(std::complex<T>& r, const std::complex<T>& a,
   r += std::conj(a) * b;
 }
 template <typename T, std::size_t VLB, typename P>
-inline void mac_conj(simd::SimdComplex<T, VLB, P>& r, const simd::SimdComplex<T, VLB, P>& a,
+inline void mac_conj(simd::SimdComplex<T, VLB, P>& r,
+                     const simd::SimdComplex<T, VLB, P>& a,
                      const simd::SimdComplex<T, VLB, P>& b) {
   r.mac_conj(a, b);
 }
@@ -149,8 +150,14 @@ class iScalar {
   friend iScalar operator*(const iScalar& a, const iScalar& b) {
     return iScalar(a._internal * b._internal);
   }
-  iScalar& operator+=(const iScalar& o) { _internal = _internal + o._internal; return *this; }
-  iScalar& operator-=(const iScalar& o) { _internal = _internal - o._internal; return *this; }
+  iScalar& operator+=(const iScalar& o) {
+    _internal = _internal + o._internal;
+    return *this;
+  }
+  iScalar& operator-=(const iScalar& o) {
+    _internal = _internal - o._internal;
+    return *this;
+  }
 
   friend bool operator==(const iScalar& a, const iScalar& b) {
     return a._internal == b._internal;
@@ -213,13 +220,15 @@ class iMatrix {
   friend iMatrix operator+(const iMatrix& a, const iMatrix& b) {
     iMatrix r;
     for (int i = 0; i < N; ++i)
-      for (int j = 0; j < N; ++j) r._internal[i][j] = a._internal[i][j] + b._internal[i][j];
+      for (int j = 0; j < N; ++j)
+        r._internal[i][j] = a._internal[i][j] + b._internal[i][j];
     return r;
   }
   friend iMatrix operator-(const iMatrix& a, const iMatrix& b) {
     iMatrix r;
     for (int i = 0; i < N; ++i)
-      for (int j = 0; j < N; ++j) r._internal[i][j] = a._internal[i][j] - b._internal[i][j];
+      for (int j = 0; j < N; ++j)
+        r._internal[i][j] = a._internal[i][j] - b._internal[i][j];
     return r;
   }
   friend iMatrix operator-(const iMatrix& a) {

@@ -43,7 +43,8 @@ TEST(Gamma, Hermiticity) {
 
 TEST(Gamma, SquareToIdentity) {
   for (int mu = 0; mu <= 4; ++mu)
-    EXPECT_LT(max_abs_diff(gamma_matrix(mu) * gamma_matrix(mu), identity4()), 1e-14) << mu;
+    EXPECT_LT(max_abs_diff(gamma_matrix(mu) * gamma_matrix(mu), identity4()), 1e-14)
+        << mu;
 }
 
 TEST(Gamma, Gamma5IsProductOfGammas) {

@@ -87,8 +87,8 @@ TEST_F(ObservablesTest, LinkLineMatchesManualProduct) {
     for (int j = 0; j < Nc; ++j) expect(i, j) = C{};
   const auto u0 = gauge_->U[2].peek(x);
   const auto u1 = gauge_->U[2].peek(lattice::displace(x, 2, 1, grid_->fdimensions()));
-  const auto u2 = gauge_->U[2].peek(
-      lattice::displace(lattice::displace(x, 2, 1, grid_->fdimensions()), 2, 1, grid_->fdimensions()));
+  const auto u2 = gauge_->U[2].peek(lattice::displace(
+      lattice::displace(x, 2, 1, grid_->fdimensions()), 2, 1, grid_->fdimensions()));
   const auto prod = u0 * u1 * u2;
   const auto got = line.peek(x);
   for (int i = 0; i < Nc; ++i)

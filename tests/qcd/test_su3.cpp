@@ -131,16 +131,16 @@ TEST(Su3, PlaquetteIdenticalAcrossVectorLengths) {
   double p512, p128;
   {
     sve::VLGuard vl(512);
-    lattice::GridCartesian grid({4, 4, 4, 4},
-                                lattice::GridCartesian::default_simd_layout(S512::Nsimd()));
+    lattice::GridCartesian grid(
+        {4, 4, 4, 4}, lattice::GridCartesian::default_simd_layout(S512::Nsimd()));
     GaugeField<S512> g(&grid);
     random_gauge(SiteRNG(31), g);
     p512 = average_plaquette(g);
   }
   {
     sve::VLGuard vl(128);
-    lattice::GridCartesian grid({4, 4, 4, 4},
-                                lattice::GridCartesian::default_simd_layout(S128::Nsimd()));
+    lattice::GridCartesian grid(
+        {4, 4, 4, 4}, lattice::GridCartesian::default_simd_layout(S128::Nsimd()));
     GaugeField<S128> g(&grid);
     random_gauge(SiteRNG(31), g);
     p128 = average_plaquette(g);

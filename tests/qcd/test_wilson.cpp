@@ -43,28 +43,34 @@ double dhop_vs_reference() {
 }
 
 TEST(Wilson, DhopMatchesReference512Fcmla) {
-  EXPECT_LT((dhop_vs_reference<simd::SimdComplex<double, simd::kVLB512, simd::SveFcmla>>()),
-            1e-24);
+  EXPECT_LT(
+      (dhop_vs_reference<simd::SimdComplex<double, simd::kVLB512, simd::SveFcmla>>()),
+      1e-24);
 }
 TEST(Wilson, DhopMatchesReference256Fcmla) {
-  EXPECT_LT((dhop_vs_reference<simd::SimdComplex<double, simd::kVLB256, simd::SveFcmla>>()),
-            1e-24);
+  EXPECT_LT(
+      (dhop_vs_reference<simd::SimdComplex<double, simd::kVLB256, simd::SveFcmla>>()),
+      1e-24);
 }
 TEST(Wilson, DhopMatchesReference128Fcmla) {
-  EXPECT_LT((dhop_vs_reference<simd::SimdComplex<double, simd::kVLB128, simd::SveFcmla>>()),
-            1e-24);
+  EXPECT_LT(
+      (dhop_vs_reference<simd::SimdComplex<double, simd::kVLB128, simd::SveFcmla>>()),
+      1e-24);
 }
 TEST(Wilson, DhopMatchesReference512Real) {
-  EXPECT_LT((dhop_vs_reference<simd::SimdComplex<double, simd::kVLB512, simd::SveReal>>()),
-            1e-24);
+  EXPECT_LT(
+      (dhop_vs_reference<simd::SimdComplex<double, simd::kVLB512, simd::SveReal>>()),
+      1e-24);
 }
 TEST(Wilson, DhopMatchesReference512Generic) {
-  EXPECT_LT((dhop_vs_reference<simd::SimdComplex<double, simd::kVLB512, simd::Generic>>()),
-            1e-24);
+  EXPECT_LT(
+      (dhop_vs_reference<simd::SimdComplex<double, simd::kVLB512, simd::Generic>>()),
+      1e-24);
 }
 TEST(Wilson, DhopMatchesReferenceFloat512) {
-  EXPECT_LT((dhop_vs_reference<simd::SimdComplex<float, simd::kVLB512, simd::SveFcmla>>()),
-            1e-9);
+  EXPECT_LT(
+      (dhop_vs_reference<simd::SimdComplex<float, simd::kVLB512, simd::SveFcmla>>()),
+      1e-9);
 }
 
 TEST(Wilson, DhopBitIdenticalAcrossVectorLengths) {
@@ -212,7 +218,8 @@ TEST(Wilson, TranslationCovariance) {
   const int mu = 2;
   // Shift everything by one site in direction mu.
   GaugeField<S> gauge_s(&f.grid);
-  for (int nu = 0; nu < lattice::Nd; ++nu) gauge_s.U[nu] = lattice::Cshift(f.gauge.U[nu], mu, +1);
+  for (int nu = 0; nu < lattice::Nd; ++nu)
+    gauge_s.U[nu] = lattice::Cshift(f.gauge.U[nu], mu, +1);
   const LatticeFermion<S> psi_s = lattice::Cshift(f.psi, mu, +1);
 
   LatticeFermion<S> out(&f.grid), out_s(&f.grid);

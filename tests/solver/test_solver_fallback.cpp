@@ -12,6 +12,7 @@
 #include <string>
 
 #include "qcd/qcd.h"
+#include "support/metrics.h"
 #include "sve/sve.h"
 
 namespace svelat::solver {
@@ -138,6 +139,44 @@ TEST_F(SolverFallbackTest, AutoFallbackRescuesAStalledMixedSolve) {
   Fermion diff(grid_.get());
   diff = x - x_ref;
   EXPECT_LE(std::sqrt(norm2(diff) / norm2(x_ref)), 1e-6);
+}
+
+TEST_F(SolverFallbackTest, FallbackSolveRecordsExactlyOneSolveRegion) {
+  // Regression: the fallback path used to run a nested WilsonSolver::solve()
+  // inside the still-open facade-level "solve" ScopedTimer, so one degraded
+  // facade call recorded TWO region calls -- halving the solves-per-second
+  // figure the wall-clock metrics layer derives.  The fallback now runs the
+  // nested solver's attempt(): exactly one region call per facade solve.
+  metrics::reset();
+  metrics::set_enabled(true);
+  SolverParams p = stalling_mixed().with_fallback(FallbackPolicy::kAuto);
+  WilsonSolver<S> solver(*gauge_, kMass, p);
+  Fermion x(grid_.get());
+  x.set_zero();
+  const SolverResult res = solver.solve(*b_, x);
+  EXPECT_TRUE(res.converged);
+  EXPECT_TRUE(res.fallback_used);
+#if SVELAT_METRICS_ENABLED
+  EXPECT_EQ(metrics::get("solve").calls, 1u);
+#endif
+  metrics::reset();
+}
+
+TEST_F(SolverFallbackTest, FallbackResultCarriesCombinedWallClock) {
+  // Regression: the summary used to be logged before the caller assigned
+  // the combined wall_seconds, so verbose fallback solves printed 0 ms.
+  // The result must now carry first-attempt + fallback time, with the
+  // first attempt's share isolated.
+  SolverParams p = stalling_mixed().with_fallback(FallbackPolicy::kAuto);
+  WilsonSolver<S> solver(*gauge_, kMass, p);
+  Fermion x(grid_.get());
+  x.set_zero();
+  const SolverResult res = solver.solve(*b_, x);
+  EXPECT_TRUE(res.fallback_used);
+  EXPECT_GT(res.first_attempt_seconds, 0.0);
+  EXPECT_GT(res.wall_seconds, res.first_attempt_seconds);
+  // The assembled wall clock is part of the summary line that gets logged.
+  EXPECT_NE(res.summary().find(" ms"), std::string::npos) << res.summary();
 }
 
 TEST_F(SolverFallbackTest, AutoFallbackRescuesAnIterationStarvedBiCGSTAB) {
