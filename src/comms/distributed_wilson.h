@@ -504,6 +504,15 @@ double axpy_norm2(DistributedFermion<S>& r, const A& a,
   return r.op().global_axpy_norm2(r.field, a, x.field, y.field);
 }
 
+/// Allocation-free difference into an existing field (the solver hot
+/// path's `sub(r, b, ap)`); site-local, no comms, bitwise-identical to
+/// the allocating operator- below.
+template <class S>
+void sub(DistributedFermion<S>& r, const DistributedFermion<S>& a,
+         const DistributedFermion<S>& b) {
+  lattice::sub(r.field, a.field, b.field);
+}
+
 template <class S>
 DistributedFermion<S> operator-(const DistributedFermion<S>& a,
                                 const DistributedFermion<S>& b) {

@@ -63,7 +63,8 @@ class Battery {
 
   static double cdiff(const S& a, const S& b) {
     double d = 0;
-    for (unsigned i = 0; i < S::Nsimd(); ++i) d = std::max(d, std::abs(a.lane(i) - b.lane(i)));
+    for (unsigned i = 0; i < S::Nsimd(); ++i)
+      d = std::max(d, std::abs(a.lane(i) - b.lane(i)));
     return d;
   }
 
@@ -97,8 +98,9 @@ class Battery {
                     acc.mac(x, y);
                     double err = 0;
                     for (unsigned i = 0; i < S::Nsimd(); ++i)
-                      err = std::max(err, std::abs(acc.lane(i) - (before.lane(i) +
-                                                                  x.lane(i) * y.lane(i))));
+                      err = std::max(
+                          err, std::abs(acc.lane(i) -
+                                        (before.lane(i) + x.lane(i) * y.lane(i))));
                     return bounded(err, 1e-13);
                   }});
     cs.push_back({"simd_conj_mult", [] {
@@ -106,8 +108,8 @@ class Battery {
                     const S p = mult_conj(a, b);
                     double err = 0;
                     for (unsigned i = 0; i < S::Nsimd(); ++i)
-                      err = std::max(err,
-                                     std::abs(p.lane(i) - std::conj(a.lane(i)) * b.lane(i)));
+                      err = std::max(
+                          err, std::abs(p.lane(i) - std::conj(a.lane(i)) * b.lane(i)));
                     return bounded(err, 1e-13);
                   }});
     cs.push_back({"simd_times_i", [] {
@@ -122,7 +124,8 @@ class Battery {
                     const S a = make_simd(12);
                     double err = 0;
                     for (unsigned d = 1; d < S::Nsimd(); d *= 2)
-                      err = std::max(err, cdiff(permute_blocks(permute_blocks(a, d), d), a));
+                      err = std::max(
+                          err, cdiff(permute_blocks(permute_blocks(a, d), d), a));
                     return bounded(err, 0.0);
                   }});
     cs.push_back({"simd_reduce", [] {
@@ -178,8 +181,9 @@ class Battery {
                   }});
     cs.push_back({"tensor_adj_product", [make_mat, mat_err] {
                     const Mat a = make_mat(43), b = make_mat(44);
-                    return bounded(mat_err(tensor::adj(a * b), tensor::adj(b) * tensor::adj(a)),
-                                   1e-11);
+                    return bounded(
+                        mat_err(tensor::adj(a * b), tensor::adj(b) * tensor::adj(a)),
+                        1e-11);
                   }});
     cs.push_back({"tensor_trace_cyclic", [make_mat] {
                     const Mat a = make_mat(45), b = make_mat(46);
@@ -240,8 +244,9 @@ class Battery {
                     double err = 0;
                     for (int mu = 0; mu < lattice::Nd; ++mu)
                       err = std::max(
-                          err, norm2(lattice::Cshift(lattice::Cshift(psi_, mu, +1), mu, -1) -
-                                     psi_));
+                          err,
+                          norm2(lattice::Cshift(lattice::Cshift(psi_, mu, +1), mu, -1) -
+                                psi_));
                     return bounded(err, 0.0);
                   }});
     cs.push_back({"cshift_norm_invariant", [this] {
@@ -295,8 +300,8 @@ class Battery {
                     double err = 0;
                     for (int mu = 0; mu < 4; ++mu)
                       for (int sign : {+1, -1}) {
-                        const auto r =
-                            qcd::spin_reconstruct(mu, sign, qcd::spin_project(mu, sign, p));
+                        const auto r = qcd::spin_reconstruct(
+                            mu, sign, qcd::spin_project(mu, sign, p));
                         const auto m = qcd::one_plus_gamma(mu, sign);
                         for (int si = 0; si < qcd::Ns; ++si)
                           for (int c = 0; c < qcd::Nc; ++c) {
@@ -314,8 +319,8 @@ class Battery {
                     double err = 0;
                     for (int i = 0; i < qcd::Ns; ++i)
                       for (int j = 0; j < qcd::Ns; ++j)
-                        err = std::max(err,
-                                       std::abs(sq(i, j) - ((i == j) ? C(1, 0) : C(0, 0))));
+                        err = std::max(
+                            err, std::abs(sq(i, j) - ((i == j) ? C(1, 0) : C(0, 0))));
                     return bounded(err, 1e-14);
                   }});
 
@@ -332,7 +337,8 @@ class Battery {
                     double err = 0;
                     for (std::uint64_t k = 0; k < 8; ++k)
                       err = std::max(
-                          err, std::abs(qcd::determinant(qcd::random_su3(rng, k)) - C(1, 0)));
+                          err,
+                          std::abs(qcd::determinant(qcd::random_su3(rng, k)) - C(1, 0)));
                     return bounded(err, 1e-12);
                   }});
     cs.push_back({"su3_group_closure", [] {
@@ -416,7 +422,8 @@ class Battery {
                     Fermion out(&grid_);
                     dirac.mdag_m(psi_, out);
                     const C ip = innerProduct(psi_, out);
-                    const bool ok = ip.real() > 0 && std::abs(ip.imag()) < 1e-8 * ip.real();
+                    const bool ok =
+                        ip.real() > 0 && std::abs(ip.imag()) < 1e-8 * ip.real();
                     return std::make_pair(ok, ip.real());
                   }});
 
@@ -483,11 +490,14 @@ VerificationReport run_verification(unsigned vl_bits, simd::Backend backend) {
   switch (backend) {
     case Backend::kGeneric:
       if (vl_bits == 128)
-        report.results = run_battery<simd::SimdComplex<double, simd::kVLB128, simd::Generic>>();
+        report.results =
+            run_battery<simd::SimdComplex<double, simd::kVLB128, simd::Generic>>();
       else if (vl_bits == 256)
-        report.results = run_battery<simd::SimdComplex<double, simd::kVLB256, simd::Generic>>();
+        report.results =
+            run_battery<simd::SimdComplex<double, simd::kVLB256, simd::Generic>>();
       else
-        report.results = run_battery<simd::SimdComplex<double, simd::kVLB512, simd::Generic>>();
+        report.results =
+            run_battery<simd::SimdComplex<double, simd::kVLB512, simd::Generic>>();
       break;
     case Backend::kSveFcmla:
       if (vl_bits == 128)
@@ -502,11 +512,14 @@ VerificationReport run_verification(unsigned vl_bits, simd::Backend backend) {
       break;
     case Backend::kSveReal:
       if (vl_bits == 128)
-        report.results = run_battery<simd::SimdComplex<double, simd::kVLB128, simd::SveReal>>();
+        report.results =
+            run_battery<simd::SimdComplex<double, simd::kVLB128, simd::SveReal>>();
       else if (vl_bits == 256)
-        report.results = run_battery<simd::SimdComplex<double, simd::kVLB256, simd::SveReal>>();
+        report.results =
+            run_battery<simd::SimdComplex<double, simd::kVLB256, simd::SveReal>>();
       else
-        report.results = run_battery<simd::SimdComplex<double, simd::kVLB512, simd::SveReal>>();
+        report.results =
+            run_battery<simd::SimdComplex<double, simd::kVLB512, simd::SveReal>>();
       break;
   }
   return report;

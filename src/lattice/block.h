@@ -1,0 +1,320 @@
+// BlockLattice<vobj, N, GridT>: N right-hand sides stored site-contiguously.
+//
+// Multi-RHS layout for the block propagator engine: column j of outer site
+// o lives at data_[o*N + j], so the N spinors of one site are adjacent in
+// memory.  A batched operator sweep loads each gauge link and stencil
+// entry ONCE and applies it to all N columns while it is register/cache
+// hot -- the dominant dhop memory traffic (links + neighbour indexing)
+// amortizes N-fold (qcd/block.h).
+//
+// Per-column reductions reuse the deterministic chunked tree of
+// support/parallel.h with an element-wise ColumnArray accumulator: column
+// j's floating-point grouping is exactly the grouping the single-field
+// innerProduct/norm2 would produce, so per-column results are BITWISE
+// identical to running the sequential kernels column by column -- the
+// block solver's N=1 bitwise contract and the N>1 determinism contract
+// both reduce to this property (docs/ARCHITECTURE.md, "Multi-RHS").
+#pragma once
+
+#include <array>
+#include <complex>
+
+#include "lattice/lattice.h"
+#include "lattice/red_black.h"
+
+namespace svelat::lattice {
+
+/// Per-column accumulator for block reductions: parallel_reduce needs
+/// copy construction and operator+=; element-wise += keeps each column's
+/// summation tree independent of its siblings.
+template <class T, int N>
+struct ColumnArray {
+  T v[N];
+
+  ColumnArray& operator+=(const ColumnArray& o) {
+    for (int j = 0; j < N; ++j) v[j] += o.v[j];
+    return *this;
+  }
+  static ColumnArray filled(const T& z) {
+    ColumnArray a;
+    for (int j = 0; j < N; ++j) a.v[j] = z;
+    return a;
+  }
+};
+
+/// Which columns a masked block kernel touches.  Frozen (inactive) columns
+/// are left bit-for-bit untouched -- the mechanism that lets a stalled
+/// right-hand side sit out the remaining iterations without perturbing
+/// its siblings.
+template <int N>
+using ColumnMask = std::array<bool, N>;
+
+template <int N>
+constexpr ColumnMask<N> all_columns() {
+  ColumnMask<N> m{};
+  for (int j = 0; j < N; ++j) m[j] = true;
+  return m;
+}
+
+template <class vobj, int N, class GridT = GridCartesian>
+class BlockLattice {
+ public:
+  static constexpr int block_size = N;
+  using vector_object = vobj;
+  using scalar_object = tensor::scalar_object_t<vobj>;
+  using simd_type = tensor::scalar_element_t<vobj>;
+  using grid_type = GridT;
+  using column_type = Lattice<vobj, GridT>;
+
+  explicit BlockLattice(const GridT* grid)
+      : grid_(grid), data_(static_cast<std::size_t>(grid->osites()) * N) {
+    SVELAT_ASSERT_MSG(grid->isites() == simd_type::Nsimd(),
+                      "grid SIMD layout does not match the vector object's lane count");
+  }
+
+  const GridT* grid() const { return grid_; }
+  std::int64_t osites() const { return grid_->osites(); }
+
+  /// The N contiguous column objects of outer site o.
+  vobj* site(std::int64_t o) { return data_.data() + static_cast<std::size_t>(o) * N; }
+  const vobj* site(std::int64_t o) const {
+    return data_.data() + static_cast<std::size_t>(o) * N;
+  }
+
+  vobj& at(std::int64_t o, int j) {
+    return data_[static_cast<std::size_t>(o) * N + static_cast<std::size_t>(j)];
+  }
+  const vobj& at(std::int64_t o, int j) const {
+    return data_[static_cast<std::size_t>(o) * N + static_cast<std::size_t>(j)];
+  }
+
+  void set_zero() {
+    thread_for(osites(), [&](std::int64_t o) {
+      vobj* row = site(o);
+      for (int j = 0; j < N; ++j) tensor::zeroit(row[j]);
+    });
+  }
+
+  /// Gather a single-field right-hand side into column j.
+  void copy_in_column(int j, const column_type& src) {
+    SVELAT_ASSERT_MSG(*src.grid() == *grid_, "column lives on a different grid");
+    thread_for(osites(), [&](std::int64_t o) { at(o, j) = src[o]; });
+  }
+
+  /// Scatter column j back into a single field.
+  void copy_out_column(int j, column_type& dst) const {
+    SVELAT_ASSERT_MSG(*dst.grid() == *grid_, "column lives on a different grid");
+    thread_for(osites(), [&](std::int64_t o) { dst[o] = at(o, j); });
+  }
+
+  void check_same(const BlockLattice& o) const {
+    SVELAT_ASSERT_MSG(*grid_ == *o.grid_, "block lattices live on different grids");
+  }
+
+ private:
+  const GridT* grid_;
+  AlignedVector<vobj> data_;
+};
+
+/// r_j = x_j - y_j for every column (block analogue of lattice::sub).
+template <class vobj, int N, class GridT>
+void block_sub(BlockLattice<vobj, N, GridT>& r, const BlockLattice<vobj, N, GridT>& x,
+               const BlockLattice<vobj, N, GridT>& y) {
+  x.check_same(y);
+  thread_for(x.osites(), [&](std::int64_t o) {
+    const vobj* xs = x.site(o);
+    const vobj* ys = y.site(o);
+    vobj* rs = r.site(o);
+    for (int j = 0; j < N; ++j) rs[j] = xs[j] - ys[j];
+  });
+}
+
+/// Copy every column: r_j = x_j.
+template <class vobj, int N, class GridT>
+void block_copy(BlockLattice<vobj, N, GridT>& r, const BlockLattice<vobj, N, GridT>& x) {
+  r.check_same(x);
+  thread_for(x.osites(), [&](std::int64_t o) {
+    const vobj* xs = x.site(o);
+    vobj* rs = r.site(o);
+    for (int j = 0; j < N; ++j) rs[j] = xs[j];
+  });
+}
+
+/// Per-column axpy with one shared scalar coefficient: r_j = a x_j + y_j
+/// for all N columns (the Schur prologue/epilogue shape).
+template <class vobj, int N, class GridT, typename C>
+void block_axpy(BlockLattice<vobj, N, GridT>& r, const C& a,
+                const BlockLattice<vobj, N, GridT>& x,
+                const BlockLattice<vobj, N, GridT>& y) {
+  x.check_same(y);
+  using simd_type = typename BlockLattice<vobj, N, GridT>::simd_type;
+  const simd_type coeff{typename simd_type::scalar_type(a)};
+  thread_for(x.osites(), [&](std::int64_t o) {
+    const vobj* xs = x.site(o);
+    const vobj* ys = y.site(o);
+    vobj* rs = r.site(o);
+    for (int j = 0; j < N; ++j) rs[j] = coeff * xs[j] + ys[j];
+  });
+}
+
+/// Masked per-column axpy with per-column coefficients:
+/// r_j = a_j x_j + y_j for active columns; frozen columns untouched.
+template <class vobj, int N, class GridT>
+void block_axpy(BlockLattice<vobj, N, GridT>& r, const std::array<double, N>& a,
+                const BlockLattice<vobj, N, GridT>& x,
+                const BlockLattice<vobj, N, GridT>& y, const ColumnMask<N>& active) {
+  x.check_same(y);
+  using simd_type = typename BlockLattice<vobj, N, GridT>::simd_type;
+  std::array<simd_type, N> coeff;
+  for (int j = 0; j < N; ++j)
+    coeff[static_cast<std::size_t>(j)] =
+        simd_type{typename simd_type::scalar_type(a[static_cast<std::size_t>(j)])};
+  thread_for(x.osites(), [&](std::int64_t o) {
+    const vobj* xs = x.site(o);
+    const vobj* ys = y.site(o);
+    vobj* rs = r.site(o);
+    for (int j = 0; j < N; ++j)
+      if (active[static_cast<std::size_t>(j)])
+        rs[j] = coeff[static_cast<std::size_t>(j)] * xs[j] + ys[j];
+  });
+}
+
+/// Per-column |a_j|^2.  Column j's chunked summation tree is identical to
+/// norm2(column j) -- bitwise equal results, any N.
+template <class vobj, int N, class GridT>
+std::array<double, N> block_norm2(const BlockLattice<vobj, N, GridT>& a) {
+  using simd_type = typename BlockLattice<vobj, N, GridT>::simd_type;
+  using Acc = ColumnArray<simd_type, N>;
+  const Acc acc =
+      parallel_reduce(a.osites(), Acc::filled(simd_type::zero()), [&](std::int64_t o) {
+        const vobj* as = a.site(o);
+        Acc t;
+        for (int j = 0; j < N; ++j) t.v[j] = tensor::innerProduct(as[j], as[j]);
+        return t;
+      });
+  std::array<double, N> out;
+  for (int j = 0; j < N; ++j)
+    out[static_cast<std::size_t>(j)] = std::real(reduce(acc.v[j]));
+  return out;
+}
+
+/// Per-column Re<a_j, b_j> (the CG pAp term).
+template <class vobj, int N, class GridT>
+std::array<double, N> block_inner_real(const BlockLattice<vobj, N, GridT>& a,
+                                       const BlockLattice<vobj, N, GridT>& b) {
+  a.check_same(b);
+  using simd_type = typename BlockLattice<vobj, N, GridT>::simd_type;
+  using Acc = ColumnArray<simd_type, N>;
+  const Acc acc =
+      parallel_reduce(a.osites(), Acc::filled(simd_type::zero()), [&](std::int64_t o) {
+        const vobj* as = a.site(o);
+        const vobj* bs = b.site(o);
+        Acc t;
+        for (int j = 0; j < N; ++j) t.v[j] = tensor::innerProduct(as[j], bs[j]);
+        return t;
+      });
+  std::array<double, N> out;
+  for (int j = 0; j < N; ++j)
+    out[static_cast<std::size_t>(j)] = std::real(reduce(acc.v[j]));
+  return out;
+}
+
+/// Masked fused update-and-norm: r_j = a_j x_j + y_j and |r_j|^2 in one
+/// pass for active columns (the CG residual-update tail); frozen columns
+/// keep their bits and report 0.
+template <class vobj, int N, class GridT>
+std::array<double, N> block_axpy_norm2(BlockLattice<vobj, N, GridT>& r,
+                                       const std::array<double, N>& a,
+                                       const BlockLattice<vobj, N, GridT>& x,
+                                       const BlockLattice<vobj, N, GridT>& y,
+                                       const ColumnMask<N>& active) {
+  x.check_same(y);
+  using simd_type = typename BlockLattice<vobj, N, GridT>::simd_type;
+  using Acc = ColumnArray<simd_type, N>;
+  std::array<simd_type, N> coeff;
+  for (int j = 0; j < N; ++j)
+    coeff[static_cast<std::size_t>(j)] =
+        simd_type{typename simd_type::scalar_type(a[static_cast<std::size_t>(j)])};
+  const Acc acc =
+      parallel_reduce(x.osites(), Acc::filled(simd_type::zero()), [&](std::int64_t o) {
+        const vobj* xs = x.site(o);
+        const vobj* ys = y.site(o);
+        vobj* rs = r.site(o);
+        Acc t = Acc::filled(simd_type::zero());
+        for (int j = 0; j < N; ++j) {
+          if (!active[static_cast<std::size_t>(j)]) continue;
+          const vobj v = coeff[static_cast<std::size_t>(j)] * xs[j] + ys[j];
+          rs[j] = v;
+          t.v[j] = tensor::innerProduct(v, v);
+        }
+        return t;
+      });
+  std::array<double, N> out;
+  for (int j = 0; j < N; ++j)
+    out[static_cast<std::size_t>(j)] = std::real(reduce(acc.v[j]));
+  return out;
+}
+
+/// Masked fused CG tail: x_j += alpha_j p_j and p_j = beta_j p_j + r_j in
+/// one pass, reading the pre-update p once per site (the deferred-x form
+/// of the two sequential axpy calls).  Per-column arithmetic is the exact
+/// expression shape of lattice::axpy (coeff * x + y), so column results
+/// stay bitwise identical to the sequential recurrence.  Frozen columns
+/// keep their bits.
+template <class vobj, int N, class GridT>
+void block_xp_update(BlockLattice<vobj, N, GridT>& x, BlockLattice<vobj, N, GridT>& p,
+                     const BlockLattice<vobj, N, GridT>& r,
+                     const std::array<double, N>& alpha,
+                     const std::array<double, N>& beta, const ColumnMask<N>& active) {
+  x.check_same(p);
+  x.check_same(r);
+  using simd_type = typename BlockLattice<vobj, N, GridT>::simd_type;
+  std::array<simd_type, N> ca, cb;
+  for (int j = 0; j < N; ++j) {
+    ca[static_cast<std::size_t>(j)] =
+        simd_type{typename simd_type::scalar_type(alpha[static_cast<std::size_t>(j)])};
+    cb[static_cast<std::size_t>(j)] =
+        simd_type{typename simd_type::scalar_type(beta[static_cast<std::size_t>(j)])};
+  }
+  thread_for(x.osites(), [&](std::int64_t o) {
+    vobj* xs = x.site(o);
+    vobj* ps = p.site(o);
+    const vobj* rs = r.site(o);
+    for (int j = 0; j < N; ++j) {
+      if (!active[static_cast<std::size_t>(j)]) continue;
+      const vobj po = ps[j];
+      xs[j] = ca[static_cast<std::size_t>(j)] * po + xs[j];
+      ps[j] = cb[static_cast<std::size_t>(j)] * po + rs[j];
+    }
+  });
+}
+
+/// Extract one parity of a full block field (all columns at once).
+template <class vobj, int N>
+void pick_checkerboard(const BlockLattice<vobj, N>& full,
+                       BlockLattice<vobj, N, GridRedBlackCartesian>& half) {
+  const GridRedBlackCartesian* rb = half.grid();
+  SVELAT_ASSERT_MSG(*rb->full_grid() == *full.grid(),
+                    "checkerboard does not view this full grid");
+  thread_for(rb->osites(), [&](std::int64_t h) {
+    const vobj* fs = full.site(rb->full_osite(h));
+    vobj* hs = half.site(h);
+    for (int j = 0; j < N; ++j) hs[j] = fs[j];
+  });
+}
+
+/// Deposit a half block field into the matching parity of a full one.
+template <class vobj, int N>
+void set_checkerboard(BlockLattice<vobj, N>& full,
+                      const BlockLattice<vobj, N, GridRedBlackCartesian>& half) {
+  const GridRedBlackCartesian* rb = half.grid();
+  SVELAT_ASSERT_MSG(*rb->full_grid() == *full.grid(),
+                    "checkerboard does not view this full grid");
+  thread_for(rb->osites(), [&](std::int64_t h) {
+    vobj* fs = full.site(rb->full_osite(h));
+    const vobj* hs = half.site(h);
+    for (int j = 0; j < N; ++j) fs[j] = hs[j];
+  });
+}
+
+}  // namespace svelat::lattice

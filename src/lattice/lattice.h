@@ -113,6 +113,17 @@ class Lattice {
   AlignedVector<vobj> data_;
 };
 
+/// r = x - y without the temporary the binary operator- would allocate --
+/// the solver hot paths (residual setup, true-residual checks) run through
+/// this so a warm solve constructs no fields.  Same per-site arithmetic as
+/// operator-: results are bitwise identical.
+template <class vobj, class GridT>
+void sub(Lattice<vobj, GridT>& r, const Lattice<vobj, GridT>& x,
+         const Lattice<vobj, GridT>& y) {
+  x.check_same(y);
+  thread_for(x.osites(), [&](std::int64_t o) { r[o] = x[o] - y[o]; });
+}
+
 /// axpy: r = a*x + y  (a is a scalar coefficient) -- the CG workhorse.
 template <class vobj, class GridT, typename S>
 void axpy(Lattice<vobj, GridT>& r, const S& a, const Lattice<vobj, GridT>& x,

@@ -1,6 +1,7 @@
 // Umbrella header for the lattice layer.
 #pragma once
 
+#include "lattice/block.h"        // IWYU pragma: export
 #include "lattice/cartesian.h"    // IWYU pragma: export
 #include "lattice/coordinates.h"  // IWYU pragma: export
 #include "lattice/cshift.h"       // IWYU pragma: export

@@ -177,10 +177,14 @@ solver::SolverResult schur_half_solve(const SchurEvenOddWilson<S>& eo,
   ws.x_e.set_zero();
   solver::SolverResult stats = solve_even(ws.b_prime, ws.x_e);
 
-  // 3. x_o = (b_o + (1/2) Dh_oe x_e) / (4+m).
+  // 3. x_o = (b_o + (1/2) Dh_oe x_e) / (4+m).  In-place scale: the
+  // scalar-multiply operator would allocate a temporary field.
   dh.dhop_oe(ws.x_e, ws.tmp_o);
   axpy(ws.x_o, 0.5, ws.tmp_o, ws.b_o);
-  ws.x_o = (1.0 / d) * ws.x_o;
+  const S inv_d(typename S::scalar_type(1.0 / d, 0.0));
+  thread_for(go->osites(), [&](std::int64_t h) {
+    ws.x_o[h] = inv_d * ws.x_o[h];
+  });
 
   lattice::set_checkerboard(x, ws.x_e);
   lattice::set_checkerboard(x, ws.x_o);

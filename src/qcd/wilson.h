@@ -104,12 +104,21 @@ class WilsonDirac {
         u_fwd_{gauge.U[0], gauge.U[1], gauge.U[2], gauge.U[3]},
         u_bwd_{lattice::Cshift(gauge.U[0], 0, -1), lattice::Cshift(gauge.U[1], 1, -1),
                lattice::Cshift(gauge.U[2], 2, -1), lattice::Cshift(gauge.U[3], 3, -1)},
+        tmp_g5_(grid_),
+        tmp_m_(grid_),
         dhop_bytes_(static_cast<double>(grid_->gsites()) * kDhopRealsPerSite *
                     sizeof(typename S::real_type)),
         dhop_flops_(kDhopFlopsPerSite * static_cast<double>(grid_->gsites())) {}
 
   const lattice::GridCartesian* grid() const { return grid_; }
   double mass() const { return mass_; }
+
+  // Read access to the stencil table and double-stored gauge, so the
+  // batched multi-RHS operator (qcd/block.h) sweeps the SAME neighbour
+  // indexing and links instead of rebuilding them.
+  const lattice::Stencil& stencil() const { return stencil_; }
+  const LatticeColourMatrix<S>* u_fwd() const { return u_fwd_; }
+  const LatticeColourMatrix<S>* u_bwd() const { return u_bwd_; }
 
   /// Hopping term, Eq. (1): out = Dh in.  Threaded over outer sites: each
   /// site reads neighbours from `in` (never written here) and writes only
@@ -133,17 +142,15 @@ class WilsonDirac {
 
   /// M^dag via gamma_5 hermiticity: M^dag = gamma5 M gamma5.
   void mdag(const Fermion& in, Fermion& out) const {
-    Fermion tmp(grid_);
-    apply_gamma5(in, tmp);
-    m(tmp, out);
+    apply_gamma5(in, tmp_g5_);
+    m(tmp_g5_, out);
     apply_gamma5(out, out);
   }
 
   /// Normal operator M^dag M (the CG target).
   void mdag_m(const Fermion& in, Fermion& out) const {
-    Fermion tmp(grid_);
-    m(in, tmp);
-    mdag(tmp, out);
+    m(in, tmp_m_);
+    mdag(tmp_m_, out);
   }
 
   static void apply_gamma5(const Fermion& in, Fermion& out) {
@@ -158,6 +165,13 @@ class WilsonDirac {
   // the backward hop (avoids a shift per application, like Grid).
   LatticeColourMatrix<S> u_fwd_[lattice::Nd];
   LatticeColourMatrix<S> u_bwd_[lattice::Nd];
+  // mdag/mdag_m intermediates: these run once per CG iteration on the
+  // unpreconditioned path, so member buffers keep warm solves free of
+  // field allocations.  Distinct buffers because mdag_m's intermediate
+  // stays live across the nested mdag.  Not thread-safe across concurrent
+  // applications of one operator (the solvers apply it sequentially).
+  mutable Fermion tmp_g5_;
+  mutable Fermion tmp_m_;
   double dhop_bytes_;  ///< wall-clock metrics model of one application
   double dhop_flops_;
 };
@@ -220,6 +234,15 @@ class WilsonDiracEO {
   double mass() const { return mass_; }
   const lattice::GridRedBlackCartesian* even_grid() const { return &even_; }
   const lattice::GridRedBlackCartesian* odd_grid() const { return &odd_; }
+
+  // Read access to the parity stencils and split gauge for the batched
+  // multi-RHS kernels (qcd/block.h): one link/stencil stream, N spinors.
+  const lattice::StencilRedBlack& st_eo() const { return st_eo_; }
+  const lattice::StencilRedBlack& st_oe() const { return st_oe_; }
+  const HalfLatticeColourMatrix<S>* u_fwd_e() const { return u_fwd_e_; }
+  const HalfLatticeColourMatrix<S>* u_bwd_e() const { return u_bwd_e_; }
+  const HalfLatticeColourMatrix<S>* u_fwd_o() const { return u_fwd_o_; }
+  const HalfLatticeColourMatrix<S>* u_bwd_o() const { return u_bwd_o_; }
 
   /// out_e = Dh_eo in_o: read the odd half field, write the even one.
   void dhop_eo(const HalfFermion& in_odd, HalfFermion& out_even) const {

@@ -117,20 +117,13 @@ int supervisor_loop(comms::Communicator& comm, const SchedulerConfig& cfg);
 namespace detail {
 
 /// C(t) = sum_x |x(x, t)|^2 of one fermion field -- the single-column
-/// slice of qcd::pion_correlator (which sums this over all 12 columns).
+/// slice of qcd::pion_correlator, delegated to the shared
+/// qcd::timeslice_norm2 kernel (one table build per job; jobs are
+/// one-column, so there is nothing to amortize the table over here).
 template <class S>
 std::vector<double> timeslice_norms(const qcd::LatticeFermion<S>& x) {
-  const lattice::GridCartesian* grid = x.grid();
-  const int T = grid->fdimensions()[3];
-  std::vector<double> corr(static_cast<std::size_t>(T), 0.0);
-  for (std::int64_t o = 0; o < grid->osites(); ++o) {
-    const S ip = tensor::innerProduct(x[o], x[o]);
-    for (unsigned l = 0; l < grid->isites(); ++l) {
-      const int t = grid->global_coor(o, l)[3];
-      corr[static_cast<std::size_t>(t)] += ip.lane(l).real();
-    }
-  }
-  return corr;
+  const qcd::TimesliceTable table(x.grid());
+  return qcd::timeslice_norm2(table, x);
 }
 
 /// Combined GB/s / GFLOP/s of a set of metrics regions (bytes and flops
@@ -157,10 +150,15 @@ template <class S>
 JobResult measure_job(const qcd::GaugeField<S>& gauge, const MeasurementJob& job) {
   metrics::reset();
   solver::WilsonSolver<S> solver(gauge, job.mass, job.solver_params());
-  qcd::LatticeFermion<S> src(gauge.grid()), x(gauge.grid());
-  qcd::point_source(src, job.source, job.spin, job.colour);
-  x.set_zero();
-  const solver::SolverResult res = solver.solve(src, x);
+  // One column per job, submitted through the batched facade entry: a
+  // width-1 batch routes to the sequential path inside solve_batched, so
+  // the wire results stay bitwise identical while every measurement
+  // driver exercises the same multi-RHS API.
+  std::vector<qcd::LatticeFermion<S>> src(1, qcd::LatticeFermion<S>(gauge.grid()));
+  std::vector<qcd::LatticeFermion<S>> x(1, qcd::LatticeFermion<S>(gauge.grid()));
+  qcd::point_source(src[0], job.source, job.spin, job.colour);
+  x[0].set_zero();
+  const solver::SolverResult res = solver.solve_batched(src, x)[0];
 
   JobResult out;
   out.job_id = job.job_id;
@@ -172,7 +170,7 @@ JobResult measure_job(const qcd::GaugeField<S>& gauge, const MeasurementJob& job
                          out.dhop_gflop_per_sec);
   detail::combined_rates({"cg_linalg", "bicgstab_linalg"}, out.linalg_gb_per_sec,
                          out.linalg_gflop_per_sec);
-  out.correlator = detail::timeslice_norms(x);
+  out.correlator = detail::timeslice_norms(x[0]);
   return out;
 }
 

@@ -13,10 +13,13 @@ namespace svelat::solver {
 /// BiCGSTAB for a general (non-hermitian) operator `op`.  `x` carries the
 /// initial guess and receives the solution.  An armed StallGuard
 /// (default: off) cuts the loop short on divergence or stall, reporting
-/// the reason in SolverResult::stall.
+/// the reason in SolverResult::stall.  A caller-owned `workspace` makes
+/// repeated solves allocation-free (slots kR/kR0/kP/kV/kS/kT); without
+/// one the work fields are constructed locally, exactly as before.
 template <class Field, class LinearOp>
 SolverResult bicgstab(const LinearOp& op, const Field& b, Field& x, double tolerance,
-                      int max_iterations, StallGuard guard = {}) {
+                      int max_iterations, StallGuard guard = {},
+                      SolverWorkspace<Field>* workspace = nullptr) {
   using C = decltype(innerProduct(b, b));
   SolverResult stats;
   stats.algorithm = Algorithm::kBiCGSTAB;
@@ -27,9 +30,17 @@ SolverResult bicgstab(const LinearOp& op, const Field& b, Field& x, double toler
   stats.rhs_norm = std::sqrt(b2);
   const double stop = tolerance * tolerance * b2;
 
-  Field r(b.grid()), r0(b.grid()), p(b.grid()), v(b.grid()), s(b.grid()), t(b.grid());
+  SolverWorkspace<Field> local;
+  SolverWorkspace<Field>& pool = workspace ? *workspace : local;
+  using WS = SolverWorkspace<Field>;
+  Field& r = pool.get(WS::kR, b.grid());
+  Field& r0 = pool.get(WS::kR0, b.grid());
+  Field& p = pool.get(WS::kP, b.grid());
+  Field& v = pool.get(WS::kV, b.grid());
+  Field& s = pool.get(WS::kS, b.grid());
+  Field& t = pool.get(WS::kT, b.grid());
   op(x, v);
-  r = b - v;       // r0 = b - A x0
+  sub(r, b, v);    // r0 = b - A x0
   r0 = r;          // shadow residual
   p = r;
   C rho = innerProduct(r0, r);
@@ -100,7 +111,7 @@ SolverResult bicgstab(const LinearOp& op, const Field& b, Field& x, double toler
   stats.final_residual = std::sqrt(rr / b2);
 
   op(x, v);
-  r = b - v;
+  sub(r, b, v);
   stats.true_residual = std::sqrt(norm2(r) / b2);
   stats.solution_norm = std::sqrt(norm2(x));
   return stats;
@@ -113,9 +124,10 @@ SolverResult bicgstab(const LinearOp& op, const Field& b, Field& x, double toler
 template <class Op, class Field>
 SolverResult solve_wilson_bicgstab(const Op& dirac, const Field& b, Field& x,
                                    double tolerance, int max_iterations,
-                                   StallGuard guard = {}) {
+                                   StallGuard guard = {},
+                                   SolverWorkspace<Field>* workspace = nullptr) {
   auto op = [&dirac](const Field& in, Field& out) { dirac.m(in, out); };
-  return bicgstab(op, b, x, tolerance, max_iterations, guard);
+  return bicgstab(op, b, x, tolerance, max_iterations, guard, workspace);
 }
 
 }  // namespace svelat::solver

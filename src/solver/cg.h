@@ -13,6 +13,7 @@
 #include "lattice/lattice.h"
 #include "qcd/wilson.h"
 #include "solver/result.h"
+#include "solver/workspace.h"
 #include "support/assert.h"
 #include "support/metrics.h"
 
@@ -44,11 +45,14 @@ struct FieldModel {
 /// Schur path (solver::WilsonSolver), whose half-length vectors halve the
 /// per-iteration axpy/norm traffic.  An armed StallGuard (default: off)
 /// cuts the loop short when the residual diverges or stalls, reporting
-/// the reason in SolverResult::stall.
+/// the reason in SolverResult::stall.  A caller-owned `workspace` makes
+/// repeated solves allocation-free (slots kR/kP/kAp); without one the
+/// work fields are constructed locally, exactly as before.
 template <class Field, class LinearOp>
 SolverResult conjugate_gradient(const LinearOp& op, const Field& b, Field& x,
                                 double tolerance, int max_iterations,
-                                StallGuard guard = {}) {
+                                StallGuard guard = {},
+                                SolverWorkspace<Field>* workspace = nullptr) {
   SolverResult stats;
   stats.algorithm = Algorithm::kCG;
   stats.target_residual = tolerance;
@@ -57,9 +61,14 @@ SolverResult conjugate_gradient(const LinearOp& op, const Field& b, Field& x,
   stats.rhs_norm = std::sqrt(b2);
   SVELAT_ASSERT_MSG(b2 > 0.0, "CG needs a non-zero right-hand side");
 
-  Field r(b.grid()), p(b.grid()), ap(b.grid());
+  SolverWorkspace<Field> local;
+  SolverWorkspace<Field>& pool = workspace ? *workspace : local;
+  using WS = SolverWorkspace<Field>;
+  Field& r = pool.get(WS::kR, b.grid());
+  Field& p = pool.get(WS::kP, b.grid());
+  Field& ap = pool.get(WS::kAp, b.grid());
   op(x, ap);            // ap = A x0
-  r = b - ap;           // r0
+  sub(r, b, ap);        // r0
   p = r;
   double rr = norm2(r);
   const double stop = tolerance * tolerance * b2;
@@ -100,7 +109,7 @@ SolverResult conjugate_gradient(const LinearOp& op, const Field& b, Field& x,
   stats.final_residual = std::sqrt(rr / b2);
 
   op(x, ap);  // true residual check
-  r = b - ap;
+  sub(r, b, ap);
   stats.true_residual = std::sqrt(norm2(r) / b2);
   stats.solution_norm = std::sqrt(norm2(x));
   return stats;
@@ -122,21 +131,29 @@ struct WilsonNormalOp {
 /// Solve M x = b through the normal equations; returns CG stats plus the
 /// true Wilson residual |b - M x| / |b|.  Building block of the
 /// solver::WilsonSolver facade (Algorithm::kCG, Preconditioner::kNone).
-/// Operator-generic: any `Op` with m/mdag/mdag_m over `Field`.
+/// Operator-generic: any `Op` with m/mdag/mdag_m over `Field`.  The
+/// optional workspace covers the wrapper fields (kRhs/kMx) as well as
+/// the CG internals, so a warm facade solve allocates nothing.
 template <class Op, class Field>
 SolverResult solve_wilson(const Op& dirac, const Field& b, Field& x,
                           double tolerance, int max_iterations,
-                          StallGuard guard = {}) {
-  Field mdag_b(b.grid());
+                          StallGuard guard = {},
+                          SolverWorkspace<Field>* workspace = nullptr) {
+  SolverWorkspace<Field> local;
+  SolverWorkspace<Field>& pool = workspace ? *workspace : local;
+  using WS = SolverWorkspace<Field>;
+  Field& mdag_b = pool.get(WS::kRhs, b.grid());
   dirac.mdag(b, mdag_b);
-  SolverResult stats = conjugate_gradient(WilsonNormalOp<Op>{dirac}, mdag_b, x,
-                                          tolerance, max_iterations, guard);
+  SolverResult stats =
+      conjugate_gradient(WilsonNormalOp<Op>{dirac}, mdag_b, x, tolerance,
+                         max_iterations, guard, &pool);
   // Replace the normal-equation norms with the Wilson-system ones.
   const double b2 = norm2(b);
   stats.rhs_norm = std::sqrt(b2);
-  Field mx(b.grid()), r(b.grid());
+  Field& mx = pool.get(WS::kMx, b.grid());
+  Field& r = pool.get(WS::kR, b.grid());
   dirac.m(x, mx);
-  r = b - mx;
+  sub(r, b, mx);
   stats.true_residual = std::sqrt(norm2(r) / b2);
   return stats;
 }

@@ -20,6 +20,9 @@ namespace svelat::solver {
 
 /// Convert any lattice field between scalar precisions through global
 /// coordinates (layout-safe for differing Nsimd / simd_layout).
+/// Writes into a caller-owned destination and allocates nothing, so the
+/// defect-correction loop stays on the allocation-free hot path when its
+/// scratch fields come from the facade's SolverWorkspace pools.
 template <class VDst, class VSrc>
 void convert_field(lattice::Lattice<VDst>& dst, const lattice::Lattice<VSrc>& src) {
   using dst_sobj = typename lattice::Lattice<VDst>::scalar_object;

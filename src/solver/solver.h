@@ -25,13 +25,17 @@
 #include <cmath>
 #include <optional>
 #include <type_traits>
+#include <vector>
 
 #include "comms/distributed_wilson.h"
+#include "qcd/block.h"
 #include "qcd/even_odd.h"
 #include "solver/bicgstab.h"
+#include "solver/block_cg.h"
 #include "solver/cg.h"
 #include "solver/mixed_precision.h"
 #include "solver/result.h"
+#include "solver/workspace.h"
 #include "support/logging.h"
 #include "support/metrics.h"
 #include "support/timer.h"
@@ -187,6 +191,42 @@ class WilsonSolver {
 
   SolverResult operator()(const Fermion& b, Fermion& x) { return solve(b, x); }
 
+  /// Width of the native multi-RHS block engine: the 12 spin-colour
+  /// columns of a propagator, the workload the batched kernels exist for.
+  static constexpr int kBlockWidth = 12;
+
+  /// Solve M x_i = b_i for a batch of right-hand sides.  Full chunks of
+  /// kBlockWidth columns ride the site-contiguous block engine when the
+  /// configuration supports it (params.block_width == kBlockWidth,
+  /// Algorithm::kCG x Preconditioner::kSchurEvenOdd, single rank);
+  /// remainder columns and unsupported configurations run the sequential
+  /// facade solve() per column -- which is why width-1 batches are
+  /// BITWISE identical to calling solve() in a loop, while full-width
+  /// batches track it to rounding (the pAp regrouping documented at
+  /// BlockSchurEvenOddWilson::mhat_norm2).  Per-column convergence is
+  /// independent: a stalled column freezes and reports converged ==
+  /// false without perturbing its siblings.  SolverResult::block_width
+  /// records the path each column took.
+  std::vector<SolverResult> solve_batched(const std::vector<Fermion>& b,
+                                          std::vector<Fermion>& x) {
+    SVELAT_ASSERT_MSG(b.size() == x.size(),
+                      "solve_batched needs one solution field per rhs");
+    std::vector<SolverResult> out(b.size());
+    const bool native = params_.block_width == kBlockWidth &&
+                        params_.algorithm == Algorithm::kCG && schur() &&
+                        dop_ == nullptr;
+    std::size_t i = 0;
+    if (native) {
+      for (; i + kBlockWidth <= b.size(); i += kBlockWidth)
+        solve_block_chunk(b, x, i, out);
+    }
+    for (; i < b.size(); ++i) {
+      out[i] = solve(b[i], x[i]);
+      out[i].block_width = 1;
+    }
+    return out;
+  }
+
  private:
   bool schur() const { return params_.preconditioner == Preconditioner::kSchurEvenOdd; }
 
@@ -203,15 +243,15 @@ class WilsonSolver {
     switch (params_.algorithm) {
       case Algorithm::kCG:
         res = schur() ? schur_cg(*eo_, *ws_, b, x, params_.tolerance,
-                                 params_.max_iterations, guard)
+                                 params_.max_iterations, guard, &kws_half_)
                       : solve_wilson(*dirac_, b, x, params_.tolerance,
-                                     params_.max_iterations, guard);
+                                     params_.max_iterations, guard, &kws_);
         break;
       case Algorithm::kBiCGSTAB:
         res = schur() ? schur_bicgstab(*eo_, *ws_, b, x, params_.tolerance,
-                                       params_.max_iterations, guard)
+                                       params_.max_iterations, guard, &kws_half_)
                       : solve_wilson_bicgstab(*dirac_, b, x, params_.tolerance,
-                                              params_.max_iterations, guard);
+                                              params_.max_iterations, guard, &kws_);
         break;
       case Algorithm::kMixedCG:
         res = mixed(b, x, guard);
@@ -227,16 +267,21 @@ class WilsonSolver {
   SolverResult distributed_attempt(const Fermion& b, Fermion& x,
                                    StallGuard guard) {
     SolverResult res;
-    comms::DistributedFermion<S> db(dop_), dx(dop_);
+    // The rank-slab bindings live in the solver (lazily built on first
+    // use) so repeated distributed solves reuse their field storage; the
+    // copy-assignments below reuse existing capacity.
+    if (!db_) db_.emplace(dop_);
+    if (!dx_) dx_.emplace(dop_);
+    comms::DistributedFermion<S>&db = *db_, &dx = *dx_;
     db.field = b;
     dx.field = x;
     try {
       const comms::DistributedWilsonOp<S> op{dop_};
       res = params_.algorithm == Algorithm::kCG
                 ? solve_wilson(op, db, dx, params_.tolerance,
-                               params_.max_iterations, guard)
+                               params_.max_iterations, guard, &kws_d_)
                 : solve_wilson_bicgstab(op, db, dx, params_.tolerance,
-                                        params_.max_iterations, guard);
+                                        params_.max_iterations, guard, &kws_d_);
       x = dx.field;
     } catch (const comms::CommError& e) {
       res.converged = false;
@@ -284,36 +329,97 @@ class WilsonSolver {
     return res;
   }
 
+  /// Everything one kBlockWidth-wide batched solve needs, built lazily on
+  /// the first full chunk and reused ever after (the batched analogue of
+  /// eo_ + ws_ + the Krylov pools): the block operator view, the Schur
+  /// block scratch, the block CG work fields and the full-grid b/x
+  /// staging blocks.  A warm batched solve constructs no fields.
+  struct BlockEngine {
+    qcd::BlockSchurEvenOddWilson<S, kBlockWidth> eo;
+    qcd::BlockSchurWorkspace<S, kBlockWidth> ws;
+    BlockCGWorkspace<S, kBlockWidth> cg;
+    qcd::BlockFermion<S, kBlockWidth> b, x;
+
+    explicit BlockEngine(const qcd::SchurEvenOddWilson<S>& base)
+        : eo(base),
+          ws(eo),
+          cg(eo),
+          b(base.even_grid()->full_grid()),
+          x(base.even_grid()->full_grid()) {}
+  };
+
+  /// One full-width batched solve: gather the chunk's columns into the
+  /// staging block, run the batched Schur driver with the block CG as
+  /// its even-half solve, scatter the solutions back and finish each
+  /// column's report.  Mirrors solve()'s facade bookkeeping with a
+  /// "solve_block" region (one call per CHUNK; wall_seconds is
+  /// apportioned evenly across the chunk's columns).
+  void solve_block_chunk(const std::vector<Fermion>& b, std::vector<Fermion>& x,
+                         std::size_t base_i, std::vector<SolverResult>& out) {
+    metrics::ScopedTimer mt("solve_block");
+    StopWatch sw;
+    if (!block_) block_.emplace(*eo_);
+    BlockEngine& be = *block_;
+    for (int j = 0; j < kBlockWidth; ++j)
+      be.b.copy_in_column(j, b[base_i + static_cast<std::size_t>(j)]);
+    const StallGuard guard{params_.stall_window, params_.divergence_factor};
+    auto stats = qcd::detail::block_schur_half_solve(
+        be.eo, be.ws, be.b, be.x, [&](const auto& b_prime, auto& x_e) {
+          be.eo.mhat_dag(b_prime, be.ws.rhs);
+          return block_conjugate_gradient(be.eo, be.cg, be.ws.rhs, x_e,
+                                          params_.tolerance,
+                                          params_.max_iterations, guard);
+        });
+    const std::array<double, kBlockWidth> xn = lattice::block_norm2(be.x);
+    const double secs = sw.seconds();
+    for (int j = 0; j < kBlockWidth; ++j) {
+      const auto u = static_cast<std::size_t>(j);
+      be.x.copy_out_column(j, x[base_i + u]);
+      SolverResult& r = stats[u];
+      r.algorithm = params_.algorithm;
+      r.preconditioner = params_.preconditioner;
+      r.target_residual = params_.tolerance;
+      r.block_width = kBlockWidth;
+      r.solution_norm = std::sqrt(xn[u]);
+      r.wall_seconds = secs / kBlockWidth;
+      if (params_.verbosity >= 1) log_info() << "WilsonSolver " << r.summary();
+      out[base_i + u] = r;
+    }
+  }
+
   /// Schur CG: normal equations on Mhat over even half fields.  Static and
   /// scalar-generic because kMixedCG reuses it for the fp32 inner solve.
+  /// The optional half-field pool makes the inner CG allocation-free.
   template <class T>
-  static SolverResult schur_cg(const qcd::SchurEvenOddWilson<T>& eo,
-                               qcd::SchurWorkspace<T>& ws,
-                               const qcd::LatticeFermion<T>& b,
-                               qcd::LatticeFermion<T>& x, double tolerance,
-                               int max_iterations, StallGuard guard = {}) {
+  static SolverResult schur_cg(
+      const qcd::SchurEvenOddWilson<T>& eo, qcd::SchurWorkspace<T>& ws,
+      const qcd::LatticeFermion<T>& b, qcd::LatticeFermion<T>& x,
+      double tolerance, int max_iterations, StallGuard guard = {},
+      SolverWorkspace<qcd::HalfLatticeFermion<T>>* kws = nullptr) {
     using HF = qcd::HalfLatticeFermion<T>;
     return qcd::detail::schur_half_solve(
         eo, ws, b, x, [&](const HF& b_prime, HF& x_e) {
           eo.mhat_dag(b_prime, ws.rhs);
           const auto op = [&eo](const HF& in, HF& out) { eo.mhat_dag_mhat(in, out); };
-          return conjugate_gradient(op, ws.rhs, x_e, tolerance, max_iterations, guard);
+          return conjugate_gradient(op, ws.rhs, x_e, tolerance, max_iterations,
+                                    guard, kws);
         });
   }
 
   /// Schur BiCGSTAB: Mhat is not hermitian, so BiCGSTAB solves
   /// Mhat x_e = b'_e directly -- no normal equations.
   template <class T>
-  static SolverResult schur_bicgstab(const qcd::SchurEvenOddWilson<T>& eo,
-                                     qcd::SchurWorkspace<T>& ws,
-                                     const qcd::LatticeFermion<T>& b,
-                                     qcd::LatticeFermion<T>& x, double tolerance,
-                                     int max_iterations, StallGuard guard = {}) {
+  static SolverResult schur_bicgstab(
+      const qcd::SchurEvenOddWilson<T>& eo, qcd::SchurWorkspace<T>& ws,
+      const qcd::LatticeFermion<T>& b, qcd::LatticeFermion<T>& x,
+      double tolerance, int max_iterations, StallGuard guard = {},
+      SolverWorkspace<qcd::HalfLatticeFermion<T>>* kws = nullptr) {
     using HF = qcd::HalfLatticeFermion<T>;
     return qcd::detail::schur_half_solve(
         eo, ws, b, x, [&](const HF& b_prime, HF& x_e) {
           const auto op = [&eo](const HF& in, HF& out) { eo.mhat(in, out); };
-          return bicgstab(op, b_prime, x_e, tolerance, max_iterations, guard);
+          return bicgstab(op, b_prime, x_e, tolerance, max_iterations, guard,
+                          kws);
         });
   }
 
@@ -331,7 +437,7 @@ class WilsonSolver {
     qcd::LatticeFermion<InnerScalar> &r_f = *r_f_, &e_f = *e_f_;
 
     dirac_->m(x, mx);
-    r = b - mx;
+    sub(r, b, mx);
     double rel = std::sqrt(norm2(r) / b2);
     stats.residual_history.push_back(rel);
 
@@ -345,9 +451,11 @@ class WilsonSolver {
       e_f.set_zero();
       const SolverResult inner =
           schur() ? schur_cg(*eo_f_, *ws_f_, r_f, e_f, params_.inner_tolerance,
-                             params_.inner_max_iterations)
+                             params_.inner_max_iterations, StallGuard{},
+                             &kws_half_f_)
                   : solve_wilson(*dirac_f_, r_f, e_f, params_.inner_tolerance,
-                                 params_.inner_max_iterations);
+                                 params_.inner_max_iterations, StallGuard{},
+                                 &kws_f_);
       stats.inner_iterations += inner.iterations;
 
       // Defect correction in double precision; the residual is re-derived
@@ -357,7 +465,7 @@ class WilsonSolver {
       convert_field(e_d, e_f);
       x += e_d;
       dirac_->m(x, mx);
-      r = b - mx;
+      sub(r, b, mx);
       rel = std::sqrt(norm2(r) / b2);
       stats.residual_history.push_back(rel);
       ++stats.iterations;
@@ -386,6 +494,8 @@ class WilsonSolver {
   std::optional<qcd::WilsonDirac<S>> dirac_;
   std::optional<qcd::SchurEvenOddWilson<S>> eo_;
   std::optional<qcd::SchurWorkspace<S>> ws_;
+  /// Multi-RHS block engine, built on the first full-width batched chunk.
+  std::optional<BlockEngine> block_;
 
   // kMixedCG state: single-precision copy of the configuration plus the
   // outer-loop scratch fields, all allocated once at construction.
@@ -396,6 +506,18 @@ class WilsonSolver {
   std::optional<qcd::WilsonDirac<InnerScalar>> dirac_f_;
   std::optional<Fermion> r_, mx_, e_d_;
   std::optional<qcd::LatticeFermion<InnerScalar>> r_f_, e_f_;
+
+  // Krylov work-field pools (solver/workspace.h), one per grid / field
+  // type a configuration can touch.  Populated lazily on the first solve
+  // and reused ever after: a warm solve() constructs no fermion fields
+  // (pinned by tests/solver/test_allocation.cpp).
+  SolverWorkspace<Fermion> kws_;
+  SolverWorkspace<HalfFermion> kws_half_;
+  SolverWorkspace<qcd::LatticeFermion<InnerScalar>> kws_f_;
+  SolverWorkspace<qcd::HalfLatticeFermion<InnerScalar>> kws_half_f_;
+  SolverWorkspace<comms::DistributedFermion<S>> kws_d_;
+  /// Distributed-mode rank-slab bindings, reused across solves.
+  std::optional<comms::DistributedFermion<S>> db_, dx_;
 };
 
 }  // namespace svelat::solver

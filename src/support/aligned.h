@@ -5,6 +5,7 @@
 // see the alignment real SVE hardware would get from Grid's allocator.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <cstdlib>
@@ -16,6 +17,16 @@ namespace svelat {
 
 /// Maximum SVE vector length in bytes (2048 bit); used as default alignment.
 inline constexpr std::size_t kMaxVectorBytes = 256;
+
+/// Process-wide count of aligned allocations.  Every lattice field stores
+/// its sites in an AlignedVector, so this is a test seam for "how many
+/// field-sized buffers did this code path construct": the allocation
+/// regression suite (tests/solver/test_allocation.cpp) snapshots it around
+/// a warm WilsonSolver::solve and pins the delta to zero.
+inline std::atomic<std::uint64_t>& aligned_allocation_count() {
+  static std::atomic<std::uint64_t> count{0};
+  return count;
+}
 
 /// Minimal C++17 std::allocator replacement with fixed alignment.
 template <typename T, std::size_t Align = kMaxVectorBytes>
@@ -42,6 +53,7 @@ class AlignedAllocator {
     // Round the byte count up to a multiple of the alignment as required by
     // std::aligned_alloc.
     const size_type bytes = ((n * sizeof(T) + Align - 1) / Align) * Align;
+    aligned_allocation_count().fetch_add(1, std::memory_order_relaxed);
     void* p = std::aligned_alloc(Align, bytes);
     if (p == nullptr) throw std::bad_alloc{};
     return static_cast<T*>(p);

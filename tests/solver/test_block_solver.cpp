@@ -1,0 +1,263 @@
+// WilsonSolver::solve_batched: the multi-RHS facade contract.
+//
+//  - width-1 batches route through the sequential facade solve and are
+//    BITWISE identical to calling solve() directly;
+//  - full kBlockWidth-wide batches ride the native block engine and track
+//    independent sequential solves per column to rounding (the pAp
+//    regrouping documented at BlockSchurEvenOddWilson::mhat_norm2);
+//  - per-column convergence is independent: under a tight iteration cap a
+//    slow column reports converged == false while its siblings converge
+//    to bit-identical solutions (the ColumnMask freeze);
+//  - distributed operators fall back to sequential per-column solves,
+//    bitwise equal to the single-rank facade at every rank count.
+#include "solver/solver.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "comms/distributed_wilson.h"
+#include "comms/socket.h"
+#include "lattice/fill.h"
+#include "qcd/qcd.h"
+#include "sve/sve.h"
+
+namespace svelat::solver {
+namespace {
+
+using S = simd::SimdComplex<double, simd::kVLB256, simd::SveFcmla>;
+using Field = qcd::LatticeFermion<S>;
+
+constexpr double kMass = 0.2;
+constexpr double kTol = 1e-8;
+
+SolverParams batch_params() {
+  return SolverParams{}.with_tolerance(kTol).with_max_iterations(500);
+}
+
+struct BatchProblem {
+  BatchProblem()
+      : vl(8 * S::vlb),
+        grid({4, 4, 4, 8}, lattice::GridCartesian::default_simd_layout(S::Nsimd())),
+        gauge(&grid) {
+    qcd::random_gauge(SiteRNG(2018), gauge);
+  }
+
+  std::vector<Field> make_rhs(std::size_t n, unsigned seed_base = 100) const {
+    std::vector<Field> b;
+    for (std::size_t i = 0; i < n; ++i) {
+      b.emplace_back(&grid);
+      gaussian_fill(SiteRNG(seed_base + static_cast<unsigned>(i)), b.back());
+    }
+    return b;
+  }
+
+  std::vector<Field> zeros(std::size_t n) const {
+    std::vector<Field> x(n, Field(&grid));
+    for (Field& f : x) f.set_zero();
+    return x;
+  }
+
+  sve::VLGuard vl;
+  lattice::GridCartesian grid;
+  qcd::GaugeField<S> gauge;
+};
+
+/// Bitwise agreement of the per-solve metadata (block_width excluded:
+/// that records the path taken, which is what several tests vary).
+bool results_identical(const SolverResult& a, const SolverResult& b) {
+  if (a.converged != b.converged || a.iterations != b.iterations) return false;
+  if (a.residual_history.size() != b.residual_history.size()) return false;
+  for (std::size_t i = 0; i < a.residual_history.size(); ++i)
+    if (a.residual_history[i] != b.residual_history[i]) return false;
+  return a.final_residual == b.final_residual && a.rhs_norm == b.rhs_norm &&
+         a.solution_norm == b.solution_norm;
+}
+
+TEST(BlockSolver, Width1BatchBitwiseMatchesSequentialSolve) {
+  BatchProblem p;
+  const std::vector<Field> b = p.make_rhs(1);
+  std::vector<Field> xb = p.zeros(1);
+
+  WilsonSolver<S> batched(p.gauge, kMass, batch_params());
+  const std::vector<SolverResult> rb = batched.solve_batched(b, xb);
+  ASSERT_EQ(rb.size(), 1u);
+  EXPECT_EQ(rb[0].block_width, 1);
+
+  WilsonSolver<S> sequential(p.gauge, kMass, batch_params());
+  Field xs(&p.grid);
+  xs.set_zero();
+  const SolverResult rs = sequential.solve(b[0], xs);
+
+  ASSERT_TRUE(rs.converged);
+  EXPECT_TRUE(results_identical(rb[0], rs))
+      << rb[0].summary() << " vs " << rs.summary();
+  EXPECT_EQ(rb[0].true_residual, rs.true_residual);
+  EXPECT_EQ(norm2(xb[0] - xs), 0.0);
+}
+
+TEST(BlockSolver, FullWidthBatchTracksSequentialPerColumn) {
+  BatchProblem p;
+  constexpr std::size_t kN = WilsonSolver<S>::kBlockWidth;
+  const std::vector<Field> b = p.make_rhs(kN);
+  std::vector<Field> xb = p.zeros(kN);
+  std::vector<Field> xs = p.zeros(kN);
+
+  WilsonSolver<S> batched(p.gauge, kMass, batch_params());
+  const std::vector<SolverResult> rb = batched.solve_batched(b, xb);
+
+  // block_width = 1 disables the native engine: every column goes down
+  // the sequential facade path of the SAME entry point.
+  WilsonSolver<S> sequential(p.gauge, kMass, batch_params().with_block_width(1));
+  const std::vector<SolverResult> rs = sequential.solve_batched(b, xs);
+
+  ASSERT_EQ(rb.size(), kN);
+  for (std::size_t j = 0; j < kN; ++j) {
+    EXPECT_EQ(rb[j].block_width, WilsonSolver<S>::kBlockWidth) << "col " << j;
+    EXPECT_EQ(rs[j].block_width, 1) << "col " << j;
+    ASSERT_TRUE(rb[j].converged) << "col " << j << ": " << rb[j].summary();
+    ASSERT_TRUE(rs[j].converged) << "col " << j;
+    // The pAp regrouping shifts convergence by at most a step or two...
+    EXPECT_LE(std::abs(rb[j].iterations - rs[j].iterations), 2) << "col " << j;
+    // ...and both paths verify against the FULL system afterwards.
+    EXPECT_LT(rb[j].true_residual, 10 * kTol) << "col " << j;
+    EXPECT_LT(rs[j].true_residual, 10 * kTol) << "col " << j;
+    const double rel =
+        std::sqrt(norm2(xb[j] - xs[j]) / norm2(xs[j]));
+    EXPECT_LT(rel, 1e-5) << "col " << j;
+  }
+}
+
+TEST(BlockSolver, SlowColumnFreezesWithoutPoisoningSiblings) {
+  BatchProblem p;
+  constexpr std::size_t kN = WilsonSolver<S>::kBlockWidth;
+  const std::vector<Field> b = p.make_rhs(kN);
+
+  // Phase 1: converge everything, learning each column's iteration count.
+  std::vector<Field> x_full = p.zeros(kN);
+  WilsonSolver<S> full(p.gauge, kMass, batch_params());
+  const std::vector<SolverResult> rf = full.solve_batched(b, x_full);
+  int min_it = rf[0].iterations, max_it = rf[0].iterations;
+  for (const SolverResult& r : rf) {
+    ASSERT_TRUE(r.converged);
+    min_it = std::min(min_it, r.iterations);
+    max_it = std::max(max_it, r.iterations);
+  }
+  // Gaussian right-hand sides converge at different rates; the cap below
+  // only exercises the mask if they genuinely differ.
+  ASSERT_LT(min_it, max_it);
+
+  // Phase 2: cap at the FASTEST column's count -- the fast columns
+  // converge, the slow ones run out of iterations and freeze.
+  std::vector<Field> x_cap = p.zeros(kN);
+  WilsonSolver<S> capped(p.gauge, kMass,
+                         batch_params().with_max_iterations(min_it));
+  const std::vector<SolverResult> rc = capped.solve_batched(b, x_cap);
+
+  int frozen = 0;
+  for (std::size_t j = 0; j < kN; ++j) {
+    if (rf[j].iterations <= min_it) {
+      // Fast column: stalled siblings must not perturb it -- same
+      // iteration count and BIT-IDENTICAL solution as the uncapped run
+      // (a frozen column's fields are never touched again).
+      EXPECT_TRUE(rc[j].converged) << "col " << j << ": " << rc[j].summary();
+      EXPECT_EQ(rc[j].iterations, rf[j].iterations) << "col " << j;
+      EXPECT_EQ(norm2(x_cap[j] - x_full[j]), 0.0) << "col " << j;
+      EXPECT_LT(rc[j].true_residual, 10 * kTol) << "col " << j;
+    } else {
+      ++frozen;
+      EXPECT_FALSE(rc[j].converged) << "col " << j;
+      // The CG (normal-equation) residual is what missed the target; the
+      // full-system true residual may already sit at eps of it.
+      EXPECT_GT(rc[j].final_residual, kTol) << "col " << j;
+    }
+  }
+  EXPECT_GT(frozen, 0);
+  EXPECT_LT(frozen, static_cast<int>(kN));
+}
+
+TEST(BlockSolver, DistributedBatchFallsBackToSequentialBitwise) {
+  // The block engine is single-rank; a batched call on a distributed
+  // operator must run the per-column sequential solve -- bitwise the
+  // single-rank facade's at every rank.  Two socket ranks, two columns.
+  sve::VLGuard vl(8 * S::vlb);
+  const lattice::Coordinate dims{4, 4, 4, 8};
+  constexpr int kSplit = 3;
+  const lattice::Coordinate layout =
+      comms::split_simd_layout(dims, kSplit, S::Nsimd());
+  lattice::GridCartesian grid(dims, layout);
+  qcd::GaugeField<S> gauge(&grid);
+  qcd::random_gauge(SiteRNG(42), gauge);
+  std::vector<Field> b;
+  for (unsigned c = 0; c < 2; ++c) {
+    b.emplace_back(&grid);
+    gaussian_fill(SiteRNG(1234 + c), b.back());
+  }
+  const SolverParams dparams = SolverParams{}
+                                   .with_preconditioner(Preconditioner::kNone)
+                                   .with_tolerance(kTol)
+                                   .with_max_iterations(2000);
+
+  // Single-rank reference on the same simd layout.
+  std::vector<Field> x_ref;
+  std::vector<SolverResult> r_ref;
+  {
+    WilsonSolver<S> ref(gauge, kMass, dparams);
+    for (std::size_t c = 0; c < 2; ++c) {
+      x_ref.emplace_back(&grid);
+      x_ref.back().set_zero();
+      r_ref.push_back(ref.solve(b[c], x_ref.back()));
+      ASSERT_TRUE(r_ref.back().converged);
+    }
+  }
+
+  constexpr int kRanks = 2;
+  comms::SocketWorld world(kRanks);
+  const comms::RankDecomposition decomp(dims, kSplit, kRanks, layout);
+  std::vector<std::vector<Field>> xs(kRanks);
+  std::vector<std::vector<SolverResult>> results(kRanks);
+  for (int r = 0; r < kRanks; ++r)
+    for (int c = 0; c < 2; ++c) {
+      xs[static_cast<std::size_t>(r)].emplace_back(decomp.grid(r));
+      xs[static_cast<std::size_t>(r)].back().set_zero();
+    }
+
+  set_force_serial(true);
+  std::vector<std::thread> threads;
+  for (int r = 0; r < kRanks; ++r)
+    threads.emplace_back([&, r] {
+      qcd::GaugeField<S> u_local(decomp.grid(r));
+      for (int mu = 0; mu < lattice::Nd; ++mu)
+        u_local.U[static_cast<std::size_t>(mu)] = comms::scatter_rank(
+            decomp, gauge.U[static_cast<std::size_t>(mu)], r);
+      comms::DistributedWilsonDirac<S> op(decomp, world.rank(r), r, u_local, kMass);
+      WilsonSolver<S> ws(op, dparams);
+      std::vector<Field> b_local;
+      for (std::size_t c = 0; c < 2; ++c)
+        b_local.push_back(comms::scatter_rank(decomp, b[c], r));
+      results[static_cast<std::size_t>(r)] =
+          ws.solve_batched(b_local, xs[static_cast<std::size_t>(r)]);
+    });
+  for (std::thread& t : threads) t.join();
+  set_force_serial(false);
+
+  for (int r = 0; r < kRanks; ++r) {
+    for (std::size_t c = 0; c < 2; ++c) {
+      const SolverResult& res = results[static_cast<std::size_t>(r)][c];
+      EXPECT_EQ(res.block_width, 1) << "rank " << r << " col " << c;
+      EXPECT_TRUE(results_identical(res, r_ref[c]))
+          << "rank " << r << " col " << c << ": " << res.summary() << " vs "
+          << r_ref[c].summary();
+      EXPECT_EQ(norm2(xs[static_cast<std::size_t>(r)][c] -
+                      comms::scatter_rank(decomp, x_ref[c], r)),
+                0.0)
+          << "rank " << r << " col " << c;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace svelat::solver
